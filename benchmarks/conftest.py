@@ -1,0 +1,37 @@
+"""Shared state for the benchmark harness.
+
+``suite_results`` runs the paper's full methodology over all 18 workloads
+once per session; each table/figure benchmark renders its experiment from
+it, asserts the paper's qualitative shape, and saves the rendered output
+under ``results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness import run_suite
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def suite_results():
+    """All 18 workloads, expanded, traced, and profiled with PP/TPP/PPP."""
+    return run_suite(verbose=False)
+
+
+def save_rendering(name: str, text: str) -> None:
+    """Persist a rendered table/figure under results/ (and echo it)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)
+
+
+def mean(values):
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

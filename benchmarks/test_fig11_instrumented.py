@@ -1,0 +1,43 @@
+"""Benchmark + regeneration of Figure 11 (fraction of dynamic paths
+instrumented; the stripes are the hashed portion).
+
+Shape checks (paper): PP instruments everything (and must hash the
+path-rich integer routines); TPP and PPP instrument only about half of all
+dynamic paths yet still predict hot paths well; PPP instruments no more
+than TPP; TPP/PPP eliminate hashing almost everywhere.
+"""
+
+from repro.core import instrumented_fraction
+from repro.harness import figure11
+
+from conftest import mean, save_rendering
+
+
+def test_figure11_regeneration(suite_results, benchmark):
+    save_rendering("figure11", figure11(suite_results))
+
+    sample = suite_results["crafty"]
+    benchmark(lambda: instrumented_fraction(
+        sample.techniques["ppp"].plan, sample.actual))
+
+    pp = [r.techniques["pp"] for r in suite_results.values()]
+    tpp = [r.techniques["tpp"] for r in suite_results.values()]
+    ppp = [r.techniques["ppp"] for r in suite_results.values()]
+
+    # PP measures every dynamic path.
+    assert all(t.instrumented_fraction == 1.0 for t in pp)
+    # Some integer benchmark forces PP into the hash table.
+    assert any(t.hashed_fraction > 0 for t in pp)
+    # TPP/PPP instrument roughly half of the dynamic paths on average.
+    assert 0.2 <= mean(t.instrumented_fraction for t in tpp) <= 0.85
+    assert 0.2 <= mean(t.instrumented_fraction for t in ppp) <= 0.85
+    # PPP never instruments more than TPP.
+    for r in suite_results.values():
+        assert r.techniques["ppp"].instrumented_fraction <= \
+            r.techniques["tpp"].instrumented_fraction + 1e-9, \
+            r.workload.name
+    # Cold-path removal (TPP) and SAC (PPP) eliminate hashing.
+    assert mean(t.hashed_fraction for t in tpp) < \
+        mean(t.hashed_fraction for t in pp)
+    assert mean(t.hashed_fraction for t in ppp) <= \
+        mean(t.hashed_fraction for t in tpp) + 1e-9

@@ -1,0 +1,43 @@
+"""Benchmark + regeneration of Figure 12 (profiling overhead).
+
+Shape checks (paper, under our deterministic cost model): PP's overhead is
+several times TPP's on the worst benchmarks; PPP beats TPP overall and by
+the largest margin on the integer codes; TPP and PPP fully de-instrument
+some FP codes (zero overhead).  Absolute percentages differ from the
+paper's Alpha wall-clock numbers by construction.
+"""
+
+from repro.core import plan_ppp, run_with_plan
+from repro.harness import figure12
+from repro.workloads import FP, INT
+
+from conftest import mean, save_rendering
+
+
+def test_figure12_regeneration(suite_results, benchmark):
+    save_rendering("figure12", figure12(suite_results))
+
+    sample = suite_results["twolf"]
+    plan = sample.techniques["ppp"].plan
+    benchmark(lambda: run_with_plan(plan))
+
+    pp = {n: r.techniques["pp"].overhead for n, r in suite_results.items()}
+    tpp = {n: r.techniques["tpp"].overhead for n, r in suite_results.items()}
+    ppp = {n: r.techniques["ppp"].overhead for n, r in suite_results.items()}
+
+    # The headline ordering, per benchmark and on average.
+    for name in suite_results:
+        assert ppp[name] <= tpp[name] + 1e-9 <= pp[name] + 2e-9, name
+    assert mean(ppp.values()) < mean(tpp.values()) < mean(pp.values())
+    # PPP reduces TPP's overhead substantially (paper: 12% -> 5%,
+    # i.e. about half).
+    assert mean(ppp.values()) <= 0.7 * mean(tpp.values())
+    # The INT gap is where PPP earns its keep (paper: 67% cut over TPP).
+    int_names = [n for n, r in suite_results.items()
+                 if r.category == INT]
+    assert mean(ppp[n] for n in int_names) < \
+        0.85 * mean(tpp[n] for n in int_names)
+    # Some FP benchmarks end up with no instrumentation at all.
+    fp_names = [n for n, r in suite_results.items() if r.category == FP]
+    assert any(tpp[n] == 0.0 for n in fp_names)
+    assert any(ppp[n] == 0.0 for n in fp_names)

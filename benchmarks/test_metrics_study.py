@@ -1,0 +1,38 @@
+"""Extension study: unit flow vs branch flow (Section 5.1's argument,
+quantified across the suite).
+
+Unit flow weights all paths equally, so inlining and unrolling -- which
+merge short paths into long ones without changing the work done -- shrink
+it; branch flow counts dynamic branch decisions and is conserved.  The
+two metrics also rank hot paths differently, which would change what a
+path-based optimizer targets.
+"""
+
+from repro.harness import compare_metrics, metrics_table
+
+from conftest import mean, save_rendering
+
+
+def test_unit_vs_branch_flow(suite_results, benchmark):
+    sample = suite_results["twolf"]
+    benchmark(lambda: compare_metrics(sample))
+
+    rows = {name: compare_metrics(r) for name, r in suite_results.items()}
+    save_rendering("metrics_study", metrics_table(suite_results))
+
+    for name, cmp in rows.items():
+        # Branch flow is conserved by expansion: inlining and unrolling
+        # restructure paths but never add or remove branch *decisions*
+        # (the scalar cleanup may resolve a few constant branches, hence
+        # the small tolerance).
+        assert cmp.branch_flow_expanded == \
+            __import__("pytest").approx(cmp.branch_flow_original,
+                                        rel=0.05), name
+        # Unit flow only ever shrinks (paths merge).
+        assert cmp.unit_flow_expanded <= cmp.unit_flow_original, name
+    # The shrinkage is substantial on average -- the distortion the paper
+    # objects to.
+    assert mean(cmp.unit_drift for cmp in rows.values()) < -0.25
+    # And the metrics genuinely disagree about which paths are hot
+    # somewhere in the suite.
+    assert min(cmp.hot_set_overlap for cmp in rows.values()) < 0.95

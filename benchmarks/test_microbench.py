@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the compile-time analyses.
+
+The paper argues (Section 4.7) that PPP's analyses are linear apart from
+the coverage computation, so a dynamic optimizer can afford them.  These
+benchmarks time each phase on a real workload CFG so regressions in the
+algorithms' complexity show up.
+"""
+
+import pytest
+
+from repro.cfg import build_profiling_dag, compute_dominators, find_loops
+from repro.core import (dag_edge_weights, event_count, number_paths,
+                        place_instrumentation, static_edge_weights)
+from repro.interp import Machine
+from repro.opt import collect_edge_profile
+from repro.profiles import (EdgeProfile, definite_flow_sets,
+                            potential_flow_sets)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def mesa_env():
+    module = get_workload("mesa").compile()
+    profile = collect_edge_profile(module)
+    func = module.functions["shade"]
+    return module, func, profile["shade"]
+
+
+def test_bench_dominators(mesa_env, benchmark):
+    _m, func, _p = mesa_env
+    benchmark(lambda: compute_dominators(func.cfg))
+
+
+def test_bench_loop_detection(mesa_env, benchmark):
+    module, _f, _p = mesa_env
+    draw = module.functions["draw"]
+    benchmark(lambda: find_loops(draw.cfg))
+
+
+def test_bench_dag_construction(mesa_env, benchmark):
+    module, _f, _p = mesa_env
+    draw = module.functions["draw"]
+    benchmark(lambda: build_profiling_dag(draw.cfg))
+
+
+def test_bench_path_numbering(mesa_env, benchmark):
+    _m, func, _p = mesa_env
+    dag = build_profiling_dag(func.cfg)
+    benchmark(lambda: number_paths(dag))
+
+
+def test_bench_event_counting(mesa_env, benchmark):
+    _m, func, _p = mesa_env
+    dag = build_profiling_dag(func.cfg)
+    live = {e.uid for e in dag.dag.edges()}
+    numbering = number_paths(dag, live=live)
+    weights = dag_edge_weights(dag, static_edge_weights(func.cfg))
+    benchmark(lambda: event_count(dag, live, numbering.val, weights))
+
+
+def test_bench_placement(mesa_env, benchmark):
+    _m, func, _p = mesa_env
+    dag = build_profiling_dag(func.cfg)
+    live = {e.uid for e in dag.dag.edges()}
+    numbering = number_paths(dag, live=live)
+    weights = dag_edge_weights(dag, static_edge_weights(func.cfg))
+    increments = event_count(dag, live, numbering.val, weights)
+    benchmark(lambda: place_instrumentation(dag, live, increments,
+                                            numbering.total))
+
+
+def test_bench_definite_flow(mesa_env, benchmark):
+    _m, func, profile = mesa_env
+    benchmark(lambda: definite_flow_sets(func, profile))
+
+
+def test_bench_potential_flow(mesa_env, benchmark):
+    _m, func, profile = mesa_env
+    benchmark(lambda: potential_flow_sets(func, profile))
+
+
+def test_bench_interpreter_throughput(benchmark):
+    module = get_workload("apsi").compile()
+    benchmark(lambda: Machine(module).run())
+
+
+def test_bench_tracer_throughput(benchmark):
+    module = get_workload("apsi").compile()
+    benchmark(lambda: Machine(module, trace_paths=True).run())

@@ -1,0 +1,47 @@
+"""Benchmark + regeneration of Table 1 (path characteristics under
+inlining and unrolling, Section 7.3).
+
+Shape checks (paper): expansion makes dynamic paths *fewer* but *longer*
+(more branches and instructions per path); speedups hover around 1.0; FP
+codes unroll much more than INT codes.
+"""
+
+import pytest
+
+from repro.harness import table1, table1_row
+from repro.opt import expand_module
+from repro.workloads import get_workload
+
+from conftest import mean, save_rendering
+
+
+def test_table1_regeneration(suite_results, benchmark):
+    rows = benchmark(lambda: [table1_row(r)
+                              for r in suite_results.values()])
+    save_rendering("table1", table1(suite_results))
+
+    int_rows = [r for r in rows if r.category == "INT"]
+    fp_rows = [r for r in rows if r.category == "FP"]
+
+    # Expansion lengthens paths on average ...
+    assert mean(r.exp_avg_branches for r in rows) > \
+        mean(r.orig_avg_branches for r in rows)
+    assert mean(r.exp_avg_instrs for r in rows) > \
+        mean(r.orig_avg_instrs for r in rows)
+    # ... and reduces the dynamic path count.
+    assert mean(r.exp_dynamic_paths for r in rows) < \
+        mean(r.orig_dynamic_paths for r in rows)
+    # FP codes unroll more than INT codes (paper: 2.96 vs 1.44).
+    assert mean(r.avg_unroll_factor for r in fp_rows) > \
+        mean(r.avg_unroll_factor for r in int_rows)
+    # Speedups are modest, as in the paper (0.96 - 1.29).
+    for r in rows:
+        assert 0.7 <= r.speedup <= 1.6, r.name
+
+
+def test_expansion_pipeline_speed(benchmark):
+    """Compile-time cost of the inline+unroll pipeline on one benchmark."""
+    workload = get_workload("twolf")
+    module = workload.compile()
+    benchmark(lambda: expand_module(workload.compile(),
+                                    code_bloat=workload.code_bloat))

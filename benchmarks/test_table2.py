@@ -1,0 +1,36 @@
+"""Benchmark + regeneration of Table 2 (hot paths in SPEC2000).
+
+Shape checks (paper): hot paths at the 0.125% threshold cover most
+program flow (92.7% overall average); the 1% threshold winnows too hard
+on the integer codes (down to ~37% in the worst cases); FP codes
+concentrate flow into far fewer distinct paths than INT codes.
+"""
+
+from repro.harness import table2, table2_row
+
+from conftest import mean, save_rendering
+
+
+def test_table2_regeneration(suite_results, benchmark):
+    rows = benchmark(lambda: [table2_row(r)
+                              for r in suite_results.values()])
+    save_rendering("table2", table2(suite_results))
+
+    int_rows = [r for r in rows if r.category == "INT"]
+    fp_rows = [r for r in rows if r.category == "FP"]
+
+    # The loose threshold keeps most flow; the strict one loses much more.
+    overall_loose = mean(r.hot_loose_flow for r in rows)
+    overall_strict = mean(r.hot_strict_flow for r in rows)
+    assert overall_loose >= 0.80
+    assert overall_strict < overall_loose
+    # FP flow is more concentrated than INT flow at the strict threshold
+    # (paper: 85.2% vs 60.2%).
+    assert mean(r.hot_strict_flow for r in fp_rows) > \
+        mean(r.hot_strict_flow for r in int_rows)
+    # INT codes have many more distinct paths than FP codes.
+    assert mean(r.distinct_paths for r in int_rows) > \
+        mean(r.distinct_paths for r in fp_rows)
+    # Hot-path counts are a small subset of distinct paths.
+    for r in rows:
+        assert r.hot_strict <= r.hot_loose <= r.distinct_paths

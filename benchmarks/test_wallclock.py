@@ -1,0 +1,42 @@
+"""Wall-clock fidelity check: instrumented VM runs really are slower.
+
+The reproduction's primary overhead numbers come from the deterministic
+cost model (see DESIGN.md), but the instrumentation hooks also cost real
+interpreter time.  These benchmarks time the same workload uninstrumented
+and under PP / PPP plans so the wall-clock ordering can be eyeballed in
+the benchmark report (grouped under 'wallclock').  No assertion is made
+on wall-clock ratios -- they depend on host and interpreter details,
+which is exactly why the cost model exists.
+"""
+
+import pytest
+
+from repro.core import plan_pp, plan_ppp, run_with_plan
+from repro.opt import collect_edge_profile
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def twolf_env():
+    module = get_workload("twolf").compile()
+    profile = collect_edge_profile(module)
+    return module, plan_pp(module), plan_ppp(module, profile)
+
+
+@pytest.mark.benchmark(group="wallclock")
+def test_wallclock_uninstrumented(twolf_env, benchmark):
+    module, _pp, _ppp = twolf_env
+    from repro.interp import Machine
+    benchmark(lambda: Machine(module).run())
+
+
+@pytest.mark.benchmark(group="wallclock")
+def test_wallclock_pp_instrumented(twolf_env, benchmark):
+    _module, pp, _ppp = twolf_env
+    benchmark(lambda: run_with_plan(pp))
+
+
+@pytest.mark.benchmark(group="wallclock")
+def test_wallclock_ppp_instrumented(twolf_env, benchmark):
+    _module, _pp, ppp = twolf_env
+    benchmark(lambda: run_with_plan(ppp))

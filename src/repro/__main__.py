@@ -1,0 +1,209 @@
+"""The ``repro`` command line: profile, run, and inspect MiniC programs.
+
+Subcommands
+-----------
+
+``run FILE``
+    Compile and execute a MiniC file; prints the return value and the
+    instruction count.
+``profile FILE``
+    Path-profile a MiniC file (default technique: PPP) and print the hot
+    paths, overhead, and per-routine instrumentation decisions.  With
+    ``--edge-profile IN`` the plan uses a saved profile instead of a
+    fresh self-advice run; ``--save-edge-profile OUT`` persists one.
+``disasm FILE``
+    Print the lowered IR (``--optimize`` applies the scalar cleanup
+    passes first).
+``dot FILE FUNCTION``
+    Emit Graphviz DOT for one function's CFG (``--dag`` for its
+    profiling DAG with numbering values).
+
+Examples::
+
+    python -m repro run program.minic
+    python -m repro profile program.minic --technique tpp --top 10
+    python -m repro disasm program.minic --optimize
+    python -m repro dot program.minic main --dag | dot -Tpng > cfg.png
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import (build_estimated_profile, evaluate_accuracy,
+                   measured_paths, plan_pp, plan_ppp, plan_tpp,
+                   run_with_plan)
+from .harness import ground_truth
+from .interp import run_module
+from .lang import compile_source
+from .profiles import load_edge_profile, save_edge_profile
+
+
+class CliError(Exception):
+    """A user-facing error (bad file, syntax error, ...)."""
+
+
+def _load(path: str):
+    from .lang import MiniCError
+    try:
+        with open(path) as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise CliError(f"cannot read {path}: {exc.strerror}") from exc
+    try:
+        return compile_source(source, name=path)
+    except MiniCError as exc:
+        raise CliError(f"{path}: {exc}") from exc
+    except Exception as exc:  # validator errors carry their own context
+        raise CliError(f"{path}: {exc}") from exc
+
+
+def cmd_run(args) -> int:
+    module = _load(args.file)
+    result = run_module(module, max_instructions=args.max_instructions)
+    print(f"return value: {result.return_value}")
+    print(f"instructions: {result.instructions_executed}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    module = _load(args.file)
+    actual, fresh_profile, _rv = ground_truth(module)
+    if args.edge_profile:
+        with open(args.edge_profile) as handle:
+            edge_profile = load_edge_profile(handle, module)
+        print(f"using saved edge profile: {args.edge_profile}")
+    else:
+        edge_profile = fresh_profile
+    if args.save_edge_profile:
+        with open(args.save_edge_profile, "w") as handle:
+            save_edge_profile(fresh_profile, handle)
+        print(f"saved edge profile to {args.save_edge_profile}")
+
+    planner = {"pp": lambda: plan_pp(module),
+               "tpp": lambda: plan_tpp(module, edge_profile),
+               "ppp": lambda: plan_ppp(module, edge_profile)}
+    plan = planner[args.technique]()
+    run = run_with_plan(plan)
+
+    print(f"\ntechnique: {args.technique.upper()}   "
+          f"overhead: {run.overhead * 100:.1f}% (cost model)")
+    for name, fplan in plan.functions.items():
+        if fplan.instrumented:
+            mode = "hash" if fplan.use_hash else "array"
+            print(f"  {name}: instrumented, {fplan.num_paths} paths "
+                  f"({mode}), {len(fplan.cold_cfg)} cold edges")
+        else:
+            print(f"  {name}: not instrumented ({fplan.reason})")
+
+    if args.show_plan:
+        from .core import format_plan
+        print()
+        print(format_plan(plan))
+
+    estimated = build_estimated_profile(run, edge_profile)
+    accuracy = evaluate_accuracy(actual, estimated.flows)
+    print(f"\naccuracy vs ground truth: {accuracy * 100:.1f}%")
+
+    print(f"\ntop {args.top} measured paths:")
+    rows = []
+    for name in plan.functions:
+        for blocks, count in measured_paths(run, name).items():
+            rows.append((count, name, blocks))
+    rows.sort(key=lambda r: -r[0])
+    for count, name, blocks in rows[:args.top]:
+        print(f"  {count:10.0f}  {name}: {' -> '.join(blocks)}")
+    if not rows:
+        print("  (nothing instrumented; profile estimated from "
+              "definite/potential flow)")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    from .ir.printer import format_module
+    module = _load(args.file)
+    if args.optimize:
+        from .opt import cleanup_module
+        module, stats = cleanup_module(module)
+        print(f"; scalar cleanup: {stats.total} rewrites")
+    print(format_module(module))
+    return 0
+
+
+def cmd_dot(args) -> int:
+    from .cfg import build_profiling_dag, cfg_to_dot, dag_to_dot
+    module = _load(args.file)
+    if args.function not in module.functions:
+        print(f"error: no function {args.function!r} in {args.file}",
+              file=sys.stderr)
+        return 1
+    func = module.functions[args.function]
+    if args.dag:
+        from .core import number_paths
+        dag = build_profiling_dag(func.cfg)
+        numbering = number_paths(dag)
+        print(dag_to_dot(dag, values=numbering.val))
+    else:
+        print(cfg_to_dot(func.cfg))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Path profiling for MiniC programs (PPP / TPP / PP).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="compile and execute a program")
+    p_run.add_argument("file")
+    p_run.add_argument("--max-instructions", type=int, default=500_000_000)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_prof = sub.add_parser("profile", help="path-profile a program")
+    p_prof.add_argument("file")
+    p_prof.add_argument("--technique", choices=("pp", "tpp", "ppp"),
+                        default="ppp")
+    p_prof.add_argument("--top", type=int, default=10,
+                        help="how many hot paths to print")
+    p_prof.add_argument("--show-plan", action="store_true",
+                        help="print per-edge instrumentation decisions")
+    p_prof.add_argument("--edge-profile", metavar="IN",
+                        help="plan from a saved edge profile (JSON)")
+    p_prof.add_argument("--save-edge-profile", metavar="OUT",
+                        help="save this run's edge profile (JSON)")
+    p_prof.set_defaults(fn=cmd_profile)
+
+    p_dis = sub.add_parser("disasm", help="print the lowered IR")
+    p_dis.add_argument("file")
+    p_dis.add_argument("--optimize", action="store_true",
+                       help="apply scalar cleanup passes first")
+    p_dis.set_defaults(fn=cmd_disasm)
+
+    p_dot = sub.add_parser("dot", help="emit Graphviz DOT for a function")
+    p_dot.add_argument("file")
+    p_dot.add_argument("function")
+    p_dot.add_argument("--dag", action="store_true",
+                       help="show the profiling DAG with numbering values")
+    p_dot.set_defaults(fn=cmd_dot)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Call graphs: who calls whom, recursion groups, bottom-up order.
+
+A small interprocedural substrate used for reporting and by clients that
+want to process functions bottom-up (callees before callers).  Recursion
+groups are the strongly-connected components (Tarjan, iterative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+# instructions has no cfg dependency; Module is typing-only (importing
+# ir.function here would close an import cycle with this package).
+from ..ir.instructions import Call
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..ir.function import Module
+
+
+@dataclass
+class CallGraph:
+    """Edges are caller -> set of callees; call-site counts per pair."""
+
+    module: "Module"
+    callees: dict[str, set[str]] = field(default_factory=dict)
+    callers: dict[str, set[str]] = field(default_factory=dict)
+    site_counts: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def calls(self, caller: str, callee: str) -> int:
+        """Number of static call sites from caller to callee."""
+        return self.site_counts.get((caller, callee), 0)
+
+    def is_recursive(self, name: str) -> bool:
+        """In a recursion group (including direct self-recursion)."""
+        for group in self.recursion_groups():
+            if name in group:
+                return True
+        return name in self.callees.get(name, set())
+
+    def recursion_groups(self) -> list[set[str]]:
+        """Strongly-connected components with >1 member, or self-loops."""
+        groups = [scc for scc in self._sccs() if len(scc) > 1]
+        for name, targets in self.callees.items():
+            if name in targets and not any(name in g for g in groups):
+                groups.append({name})
+        return groups
+
+    def bottom_up_order(self) -> list[str]:
+        """Functions with callees before callers (SCCs flattened in
+        discovery order -- stable and deterministic)."""
+        order: list[str] = []
+        for scc in self._sccs():
+            order.extend(sorted(scc))
+        return order
+
+    def reachable_from(self, root: str | None = None) -> set[str]:
+        """Functions transitively callable from root (default: main)."""
+        start = root if root is not None else self.module.main
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            name = stack.pop()
+            if name in seen or name not in self.module.functions:
+                continue
+            seen.add(name)
+            stack.extend(self.callees.get(name, ()))
+        return seen
+
+    # ------------------------------------------------------------------
+
+    def _sccs(self) -> list[set[str]]:
+        """Tarjan's SCCs, iterative, emitted callees-first."""
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        out: list[set[str]] = []
+        counter = [0]
+
+        def strongconnect(root: str) -> None:
+            work = [(root, iter(sorted(self.callees.get(root, ()))))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in self.module.functions:
+                        continue
+                    if succ not in index:
+                        index[succ] = low[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append(
+                            (succ, iter(sorted(self.callees.get(succ, ())))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    scc: set[str] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.add(member)
+                        if member == node:
+                            break
+                    out.append(scc)
+
+        for name in self.module.functions:
+            if name not in index:
+                strongconnect(name)
+        return out
+
+
+def build_call_graph(module: "Module") -> CallGraph:
+    """Scan every function's call sites."""
+    graph = CallGraph(module)
+    for name, func in module.functions.items():
+        graph.callees.setdefault(name, set())
+        graph.callers.setdefault(name, set())
+    for name, func in module.functions.items():
+        for block in func.cfg.blocks.values():
+            for instr in block.instructions:
+                if isinstance(instr, Call) \
+                        and instr.func in module.functions:
+                    graph.callees[name].add(instr.func)
+                    graph.callers[instr.func].add(name)
+                    key = (name, instr.func)
+                    graph.site_counts[key] = graph.site_counts.get(key, 0) + 1
+    return graph

@@ -1,0 +1,95 @@
+"""Dominator analysis (Cooper-Harvey-Kennedy iterative algorithm).
+
+Natural-loop detection (:mod:`repro.cfg.loops`) uses dominators to find back
+edges: an edge ``t -> h`` is a back edge when ``h`` dominates ``t``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .graph import CFGError, ControlFlowGraph
+from .traversal import reverse_postorder
+
+
+class DominatorTree:
+    """Immediate-dominator mapping for the blocks reachable from entry."""
+
+    def __init__(self, cfg: ControlFlowGraph):
+        if cfg.entry is None:
+            raise CFGError("dominators require an entry block")
+        self.cfg = cfg
+        self.idom: dict[str, Optional[str]] = {}
+        self._rpo_index: dict[str, int] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        cfg = self.cfg
+        rpo = reverse_postorder(cfg)
+        self._rpo_index = {name: i for i, name in enumerate(rpo)}
+        idom: dict[str, Optional[str]] = {name: None for name in rpo}
+        entry = cfg.entry
+        assert entry is not None
+        idom[entry] = entry
+        changed = True
+        while changed:
+            changed = False
+            for name in rpo:
+                if name == entry:
+                    continue
+                new_idom: Optional[str] = None
+                for pred in cfg.preds(name):
+                    if pred not in idom or idom[pred] is None:
+                        continue  # unreachable or not yet processed
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = self._intersect(idom, pred, new_idom)
+                if new_idom is not None and idom[name] != new_idom:
+                    idom[name] = new_idom
+                    changed = True
+        idom[entry] = None  # the entry has no immediate dominator
+        self.idom = idom
+
+    def _intersect(self, idom: dict[str, Optional[str]], a: str, b: str) -> str:
+        index = self._rpo_index
+        while a != b:
+            while index[a] > index[b]:
+                parent = idom[a]
+                assert parent is not None
+                a = parent
+            while index[b] > index[a]:
+                parent = idom[b]
+                assert parent is not None
+                b = parent
+        return a
+
+    # ------------------------------------------------------------------
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True when block ``a`` dominates block ``b`` (reflexive)."""
+        if a == b:
+            return True
+        node: Optional[str] = b
+        while node is not None:
+            node = self.idom.get(node)
+            if node == a:
+                return True
+        return False
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def dominators_of(self, name: str) -> list[str]:
+        """All dominators of ``name`` from itself up to the entry."""
+        out = [name]
+        node = self.idom.get(name)
+        while node is not None:
+            out.append(node)
+            node = self.idom.get(node)
+        return out
+
+
+def compute_dominators(cfg: ControlFlowGraph) -> DominatorTree:
+    """Compute the dominator tree of ``cfg``."""
+    return DominatorTree(cfg)

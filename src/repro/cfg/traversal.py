@@ -1,0 +1,157 @@
+"""Graph traversals: DFS orders, reachability, topological sorting.
+
+All algorithms are iterative (no recursion) so deeply nested or long CFGs
+never hit Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from .graph import CFGError, ControlFlowGraph, Edge
+
+EdgeFilter = Callable[[Edge], bool]
+
+
+def _succ_edges(cfg: ControlFlowGraph, name: str,
+                edge_filter: Optional[EdgeFilter]) -> list[Edge]:
+    edges = cfg.blocks[name].succ_edges
+    if edge_filter is None:
+        return list(edges)
+    return [e for e in edges if edge_filter(e)]
+
+
+def depth_first_order(cfg: ControlFlowGraph, root: Optional[str] = None,
+                      edge_filter: Optional[EdgeFilter] = None) -> list[str]:
+    """Blocks in depth-first preorder from ``root`` (default: entry)."""
+    start = root if root is not None else cfg.entry
+    if start is None:
+        raise CFGError("graph has no entry block")
+    seen: set[str] = set()
+    order: list[str] = []
+    stack = [start]
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        order.append(name)
+        succs = [e.dst for e in _succ_edges(cfg, name, edge_filter)]
+        # Reverse so the first successor is visited first.
+        stack.extend(reversed(succs))
+    return order
+
+
+def postorder(cfg: ControlFlowGraph, root: Optional[str] = None,
+              edge_filter: Optional[EdgeFilter] = None) -> list[str]:
+    """Blocks in depth-first postorder from ``root`` (default: entry)."""
+    start = root if root is not None else cfg.entry
+    if start is None:
+        raise CFGError("graph has no entry block")
+    seen: set[str] = set()
+    order: list[str] = []
+    # Stack holds (block, iterator over successor names).
+    stack: list[tuple[str, list[str], int]] = []
+    seen.add(start)
+    stack.append((start, [e.dst for e in _succ_edges(cfg, start, edge_filter)], 0))
+    while stack:
+        name, succs, idx = stack.pop()
+        while idx < len(succs) and succs[idx] in seen:
+            idx += 1
+        if idx == len(succs):
+            order.append(name)
+        else:
+            nxt = succs[idx]
+            stack.append((name, succs, idx + 1))
+            seen.add(nxt)
+            stack.append(
+                (nxt, [e.dst for e in _succ_edges(cfg, nxt, edge_filter)], 0))
+    return order
+
+
+def reverse_postorder(cfg: ControlFlowGraph, root: Optional[str] = None,
+                      edge_filter: Optional[EdgeFilter] = None) -> list[str]:
+    """Blocks in reverse postorder (a topological order on acyclic graphs)."""
+    order = postorder(cfg, root, edge_filter)
+    order.reverse()
+    return order
+
+
+def reachable(cfg: ControlFlowGraph, root: Optional[str] = None,
+              edge_filter: Optional[EdgeFilter] = None) -> set[str]:
+    """Blocks reachable from ``root`` (default: entry)."""
+    return set(depth_first_order(cfg, root, edge_filter))
+
+
+def reachable_backward(cfg: ControlFlowGraph, root: Optional[str] = None,
+                       edge_filter: Optional[EdgeFilter] = None) -> set[str]:
+    """Blocks that can reach ``root`` (default: exit)."""
+    start = root if root is not None else cfg.exit
+    if start is None:
+        raise CFGError("graph has no exit block")
+    seen: set[str] = set()
+    stack = [start]
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        for edge in cfg.blocks[name].pred_edges:
+            if edge_filter is not None and not edge_filter(edge):
+                continue
+            if edge.src not in seen:
+                stack.append(edge.src)
+    return seen
+
+
+def topological_order(cfg: ControlFlowGraph,
+                      edge_filter: Optional[EdgeFilter] = None) -> list[str]:
+    """Topological order of an acyclic graph via Kahn's algorithm.
+
+    Only blocks reachable from the entry are included.  Raises
+    :class:`CFGError` if a cycle is reachable (callers convert to a DAG
+    first; see :mod:`repro.cfg.dag`).
+    """
+    if cfg.entry is None:
+        raise CFGError("graph has no entry block")
+    live = reachable(cfg, edge_filter=edge_filter)
+    indeg: dict[str, int] = {name: 0 for name in live}
+    for name in live:
+        for edge in _succ_edges(cfg, name, edge_filter):
+            if edge.dst in live:
+                indeg[edge.dst] += 1
+    ready = [n for n, d in indeg.items() if d == 0]
+    # Keep the order deterministic: entry first, then insertion order.
+    ready.sort(key=lambda n: (n != cfg.entry, n))
+    order: list[str] = []
+    while ready:
+        name = ready.pop()
+        order.append(name)
+        for edge in _succ_edges(cfg, name, edge_filter):
+            if edge.dst not in live:
+                continue
+            indeg[edge.dst] -= 1
+            if indeg[edge.dst] == 0:
+                ready.append(edge.dst)
+    if len(order) != len(live):
+        raise CFGError(f"cycle detected in {cfg.name!r}; not a DAG")
+    return order
+
+
+def reverse_topological_order(
+        cfg: ControlFlowGraph,
+        edge_filter: Optional[EdgeFilter] = None) -> list[str]:
+    """Reverse topological order of an acyclic graph."""
+    order = topological_order(cfg, edge_filter)
+    order.reverse()
+    return order
+
+
+def is_acyclic(cfg: ControlFlowGraph,
+               edge_filter: Optional[EdgeFilter] = None) -> bool:
+    """True when no cycle is reachable from the entry."""
+    try:
+        topological_order(cfg, edge_filter)
+    except CFGError:
+        return False
+    return True

@@ -1,0 +1,108 @@
+"""Compile placed instrumentation into interpreter edge hooks.
+
+Each instrumented CFG edge's op list becomes a small closure attached to
+that edge in the :class:`~repro.interp.machine.Machine`; the closure
+mutates the frame's path register, updates the function's counter store,
+and bills the cost model -- exactly the work the inserted instructions
+would do in a binary.
+
+Cost accounting (see :mod:`repro.interp.costs`): ``r = v`` and ``r += v``
+cost ``reg_set``/``reg_add``; a counter update costs ``count_array`` or
+``count_hash`` depending on the store; TPP's poison check adds
+``poison_check`` to *every* executed count (hot or cold) -- eliminating
+that term is precisely PPP's free-poisoning win.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..interp.costs import CostCounter, CostModel
+from ..interp.machine import Frame, Machine
+from .ops import AddReg, CountConst, CountReg, InstrOp, SetReg
+from .runtime import CounterStore
+
+
+def compile_edge_hook(ops: list[InstrOp], store: CounterStore,
+                      checked: bool, cost_model: CostModel,
+                      costs: CostCounter) -> Callable[[Frame], None]:
+    """Build the hook executing ``ops`` on each traversal of one edge."""
+    count_cost = cost_model.count_hash if _is_hash(store) \
+        else cost_model.count_array
+    if checked:
+        count_cost += cost_model.poison_check
+
+    steps: list[Callable[[Frame], None]] = []
+    total_cost = 0.0
+    for op in ops:
+        if isinstance(op, SetReg):
+            value = op.value
+
+            def set_step(frame: Frame, _v=value) -> None:
+                frame.path_reg = _v
+            steps.append(set_step)
+            total_cost += cost_model.reg_set
+        elif isinstance(op, AddReg):
+            value = op.value
+
+            def add_step(frame: Frame, _v=value) -> None:
+                frame.path_reg += _v
+            steps.append(add_step)
+            total_cost += cost_model.reg_add
+        elif isinstance(op, CountReg):
+            add = op.add
+            if checked:
+                def count_step(frame: Frame, _a=add) -> None:
+                    if frame.path_reg < 0:
+                        store.bump_cold()
+                    else:
+                        store.bump(frame.path_reg + _a)
+            else:
+                def count_step(frame: Frame, _a=add) -> None:
+                    store.bump(frame.path_reg + _a)
+            steps.append(count_step)
+            total_cost += count_cost
+        elif isinstance(op, CountConst):
+            value = op.value
+
+            def count_const_step(frame: Frame, _v=value) -> None:
+                store.bump(_v)
+            steps.append(count_const_step)
+            # A constant index can never be poisoned, so no check is
+            # needed even in checked mode.
+            total_cost += (cost_model.count_hash if _is_hash(store)
+                           else cost_model.count_array)
+        else:  # pragma: no cover - exhaustive over InstrOp
+            raise TypeError(f"unknown instrumentation op {op!r}")
+
+    n_ops = len(steps)
+    if n_ops == 1:
+        single = steps[0]
+
+        def hook(frame: Frame) -> None:
+            single(frame)
+            costs.instrumentation += total_cost
+            costs.instrumentation_ops += 1
+        return hook
+
+    def hook(frame: Frame) -> None:
+        for step in steps:
+            step(frame)
+        costs.instrumentation += total_cost
+        costs.instrumentation_ops += n_ops
+    return hook
+
+
+def _is_hash(store: CounterStore) -> bool:
+    from .runtime import HashStore
+    return isinstance(store, HashStore)
+
+
+def attach_function(machine: Machine, func_name: str,
+                    edge_ops: dict[int, list[InstrOp]], store: CounterStore,
+                    checked: bool) -> None:
+    """Attach one function's instrumentation to a machine."""
+    for edge_uid, ops in edge_ops.items():
+        hook = compile_edge_hook(ops, store, checked, machine.cost_model,
+                                 machine.costs)
+        machine.set_edge_hook(func_name, edge_uid, hook)

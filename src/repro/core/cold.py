@@ -1,0 +1,87 @@
+"""Cold-edge identification: TPP's local criterion and PPP's global one.
+
+TPP (Section 3.2) marks a CFG edge cold when its frequency is below a
+threshold fraction (default 5%) of its source block's frequency -- a
+*local* criterion that trades accuracy on cold paths for simpler
+instrumentation on the hot ones.
+
+PPP (Section 4.2) adds a *global* criterion: an edge is cold when its
+frequency is below a threshold fraction (default 0.1%) of total program
+flow in unit-flow terms (the program's dynamic path count).  PPP marks an
+edge cold when *either* criterion applies, and its self-adjusting variant
+(Section 4.3) raises the global threshold until the routine's path count
+fits the counter array.
+
+Cold sets are kept as *CFG* edge uids (so obvious-loop disconnection can
+add its entry/exit/back edges to the same set) and projected onto the
+profiling DAG when numbering: a dummy edge is cold when every back edge it
+stands for is cold.
+"""
+
+from __future__ import annotations
+
+from ..cfg.dag import ProfilingDag
+from ..cfg.graph import ControlFlowGraph
+from ..profiles.edge_profile import FunctionEdgeProfile
+
+LOCAL_COLD_RATIO = 0.05       # Section 7.4: below 5% of the source block
+GLOBAL_COLD_FRACTION = 0.001  # Section 7.4: below 0.1% of total unit flow
+
+
+def cold_cfg_edges(cfg: ControlFlowGraph, profile: FunctionEdgeProfile,
+                   local_ratio: float | None = LOCAL_COLD_RATIO,
+                   global_fraction: float | None = None,
+                   total_unit_flow: float | None = None) -> set[int]:
+    """CFG edge uids cold under the enabled criteria.
+
+    ``local_ratio`` of None disables the local criterion;
+    ``global_fraction`` of None disables the global one (which otherwise
+    needs ``total_unit_flow``, the program-wide dynamic path count).
+    """
+    global_cutoff: float | None = None
+    if global_fraction is not None:
+        if total_unit_flow is None:
+            raise ValueError(
+                "the global criterion needs the program's total unit flow")
+        global_cutoff = global_fraction * total_unit_flow
+
+    cold: set[int] = set()
+    for edge in cfg.edges():
+        freq = profile.freq(edge)
+        if local_ratio is not None \
+                and freq < local_ratio * profile.block_freq(edge.src):
+            cold.add(edge.uid)
+        elif global_cutoff is not None and freq < global_cutoff:
+            cold.add(edge.uid)
+    return cold
+
+
+def project_cold_to_dag(dag: ProfilingDag, cold_cfg: set[int]) -> set[int]:
+    """Project a cold CFG edge set onto DAG edge uids.
+
+    A dummy edge is cold only when *every* back edge it stands in for is
+    cold (a header shared by one hot and one cold back edge still starts
+    hot paths).
+    """
+    cold: set[int] = set()
+    for dag_edge in dag.dag.edges():
+        if dag.is_entry_dummy(dag_edge):
+            backs = dag.back_edges_into(dag_edge.dst)
+            if all(b.uid in cold_cfg for b in backs):
+                cold.add(dag_edge.uid)
+        elif dag.is_exit_dummy(dag_edge):
+            backs = dag.back_edges_from(dag_edge.src)
+            if all(b.uid in cold_cfg for b in backs):
+                cold.add(dag_edge.uid)
+        else:
+            cfg_edge = dag.cfg_edge_for(dag_edge)
+            assert cfg_edge is not None
+            if cfg_edge.uid in cold_cfg:
+                cold.add(dag_edge.uid)
+    return cold
+
+
+def live_dag_edges(dag: ProfilingDag, cold_cfg: set[int]) -> set[int]:
+    """The complement: DAG edge uids that remain for numbering."""
+    cold = project_cold_to_dag(dag, cold_cfg)
+    return {e.uid for e in dag.dag.edges() if e.uid not in cold}

@@ -1,0 +1,43 @@
+"""Static edge-frequency heuristics for PP's event counting.
+
+Ball-Larus event counting chooses a maximum-weight spanning tree so that
+the (predicted) hottest edges carry no instrumentation.  Without a profile
+PP predicts frequencies with simple static heuristics: "loops execute 10
+times and branch directions are 50/50" (Section 3.1).  PPP replaces these
+with real edge-profile frequencies (Section 4.5); TPP keeps the static
+heuristics.
+
+The estimate here implements exactly those two rules: a block's weight is
+``10 ** loop_depth`` and each block splits its weight evenly over its
+outgoing edges.
+"""
+
+from __future__ import annotations
+
+from ..cfg.graph import ControlFlowGraph
+from ..cfg.loops import find_loops, loop_depths
+
+# Deep nests would otherwise produce astronomically confident predictions.
+_MAX_DEPTH = 8
+LOOP_TRIP_GUESS = 10.0
+
+
+def static_block_weights(cfg: ControlFlowGraph) -> dict[str, float]:
+    """Predicted block execution weights: ``10 ** nesting_depth``."""
+    depths = loop_depths(cfg, find_loops(cfg))
+    return {name: LOOP_TRIP_GUESS ** min(depth, _MAX_DEPTH)
+            for name, depth in depths.items()}
+
+
+def static_edge_weights(cfg: ControlFlowGraph) -> dict[int, float]:
+    """Predicted edge frequencies: source weight split 50/50 per branch."""
+    blocks = static_block_weights(cfg)
+    weights: dict[int, float] = {}
+    for name, block in cfg.blocks.items():
+        out = block.succ_edges
+        if not out:
+            continue
+        share = blocks[name] / len(out)
+        for edge in out:
+            weights[edge.uid] = share
+    return weights

@@ -1,0 +1,201 @@
+"""Obvious paths and obvious loops (TPP, Section 3.2).
+
+A path is *obvious* when it contains a *defining edge* -- an edge that
+lies on no other path -- because then its frequency simply equals the
+defining edge's frequency, which the edge profile already measured.
+A routine all of whose (non-cold) paths are obvious needs no
+instrumentation at all: definite flow recovers every path exactly.
+
+A loop is *obvious* when every path of its body is obvious; if its average
+trip count is high enough (>= 10 in the paper), TPP "disconnects" it --
+treats its entry edges, exit edges, and back edges as cold -- trading
+information about paths entering/leaving the loop for not instrumenting
+the loop at all.
+
+Joshi et al. observed (and the paper repeats) that running these checks
+*after* cold-path removal greatly increases how much becomes obvious, so
+every function here takes the current cold set into account.
+"""
+
+from __future__ import annotations
+
+from ..cfg.dag import ProfilingDag
+from ..cfg.graph import ControlFlowGraph, Edge
+from ..cfg.loops import Loop
+from ..cfg.traversal import reverse_topological_order, topological_order
+from ..profiles.edge_profile import FunctionEdgeProfile
+
+OBVIOUS_LOOP_MIN_TRIPS = 10.0  # Section 7.4
+
+_VIRTUAL_EXIT = "__loop_exit__"
+
+
+def _paths_counts(graph: ControlFlowGraph, live: set[int]
+                  ) -> tuple[dict[str, int], dict[str, int]]:
+    """(paths from entry to each block, paths from each block to exit)."""
+    entry, exit_ = graph.entry, graph.exit
+    assert entry is not None and exit_ is not None
+    paths_from: dict[str, int] = {}
+    for v in reverse_topological_order(graph):
+        if v == exit_:
+            paths_from[v] = 1
+        else:
+            paths_from[v] = sum(paths_from.get(e.dst, 0)
+                                for e in graph.out_edges(v)
+                                if e.uid in live)
+    paths_to: dict[str, int] = {name: 0 for name in graph.blocks}
+    paths_to[entry] = 1
+    for v in topological_order(graph):
+        for e in graph.out_edges(v):
+            if e.uid in live:
+                paths_to[e.dst] = paths_to.get(e.dst, 0) + paths_to[v]
+    return paths_to, paths_from
+
+
+def defining_edges(graph: ControlFlowGraph, live: set[int]) -> set[int]:
+    """Live edges that lie on exactly one complete path."""
+    paths_to, paths_from = _paths_counts(graph, live)
+    out: set[int] = set()
+    for e in graph.edges():
+        if e.uid not in live:
+            continue
+        through = paths_to.get(e.src, 0) * paths_from.get(e.dst, 0)
+        if through == 1:
+            out.add(e.uid)
+    return out
+
+
+def all_paths_obvious(graph: ControlFlowGraph, live: set[int]) -> bool:
+    """True when every complete live path contains a defining edge.
+
+    Counted as: the number of entry->exit paths that avoid all defining
+    edges must be zero.  A graph with no complete live paths at all is
+    vacuously obvious (there is nothing to instrument), and so is a graph
+    with exactly *one* path: its frequency is the invocation count, which
+    the edge profile already knows (a fully-merged straight-line routine
+    has no edges for a defining edge to live on).
+    """
+    entry, exit_ = graph.entry, graph.exit
+    assert entry is not None and exit_ is not None
+    total: dict[str, int] = {}
+    for v in reverse_topological_order(graph):
+        if v == exit_:
+            total[v] = 1
+        else:
+            total[v] = sum(total.get(e.dst, 0) for e in graph.out_edges(v)
+                           if e.uid in live)
+    if total.get(entry, 0) <= 1:
+        return True
+    defining = defining_edges(graph, live)
+    usable = live - defining
+    count: dict[str, int] = {}
+    for v in reverse_topological_order(graph):
+        if v == exit_:
+            count[v] = 1
+        else:
+            count[v] = sum(count.get(e.dst, 0) for e in graph.out_edges(v)
+                           if e.uid in usable)
+    return count.get(entry, 0) == 0
+
+
+def loop_body_graph(cfg: ControlFlowGraph, loop: Loop
+                    ) -> tuple[ControlFlowGraph, dict[int, Edge]]:
+    """A standalone graph of the loop body for obviousness analysis.
+
+    Blocks are the loop's blocks plus a virtual exit; edges inside the loop
+    are mirrored, and each edge leaving the loop (including, after back
+    edges are broken by :class:`ProfilingDag`, each iteration-ending tail)
+    leads to the virtual exit.  Returns the graph and a mapping from the
+    mirrored edges back to original CFG edges.
+    """
+    body = ControlFlowGraph(f"{cfg.name}.loop.{loop.header}")
+    for name in loop.body:
+        body.add_block(name)
+    body.add_block(_VIRTUAL_EXIT)
+    body.set_entry(loop.header)
+    body.set_exit(_VIRTUAL_EXIT)
+    mapping: dict[int, Edge] = {}
+    exit_sources: set[str] = set()
+    for name in loop.body:
+        for edge in cfg.blocks[name].succ_edges:
+            if edge.dst in loop.body:
+                mirrored = body.add_edge(edge.src, edge.dst)
+                mapping[mirrored.uid] = edge
+            else:
+                exit_sources.add(edge.src)
+    for src in sorted(exit_sources):
+        body.add_edge(src, _VIRTUAL_EXIT)
+    return body, mapping
+
+
+def loop_is_obvious(cfg: ControlFlowGraph, loop: Loop,
+                    cold_cfg: set[int]) -> bool:
+    """Whether every Ball-Larus path within the loop body is obvious.
+
+    The body graph's back edges (this loop's and nested loops') are broken
+    with the usual dummy-edge construction; cold CFG edges are excluded
+    before the obviousness check, mirroring TPP's ordering.
+    """
+    body, mapping = loop_body_graph(cfg, loop)
+    dag = ProfilingDag(body)
+    live: set[int] = set()
+    for e in dag.dag.edges():
+        if e.dummy:
+            live.add(e.uid)  # dummy liveness follows the back edges below
+            continue
+        body_edge = dag.cfg_edge_for(e)
+        assert body_edge is not None
+        original = mapping.get(body_edge.uid)
+        if original is None or original.uid not in cold_cfg:
+            live.add(e.uid)
+    # Drop dummies whose back edges are all cold.
+    for header, dummy in dag.entry_dummies.items():
+        backs = dag.back_edges_into(header)
+        if all(mapping[b.uid].uid in cold_cfg
+               for b in backs if b.uid in mapping):
+            if all(b.uid in mapping for b in backs):
+                live.discard(dummy.uid)
+    for tail, dummy in dag.exit_dummies.items():
+        backs = dag.back_edges_from(tail)
+        if all(mapping[b.uid].uid in cold_cfg
+               for b in backs if b.uid in mapping):
+            if all(b.uid in mapping for b in backs):
+                live.discard(dummy.uid)
+    return all_paths_obvious(dag.dag, live)
+
+
+def loop_average_trips(loop: Loop, cfg: ControlFlowGraph,
+                       profile: FunctionEdgeProfile) -> float:
+    """Average iterations per loop entry, from the edge profile."""
+    entries = sum(profile.freq(e) for e in loop.entry_edges(cfg))
+    if entries <= 0:
+        return 0.0
+    header_freq = profile.block_freq(loop.header)
+    return header_freq / entries
+
+
+def obvious_loop_cold_edges(cfg: ControlFlowGraph, loops: list[Loop],
+                            profile: FunctionEdgeProfile,
+                            cold_cfg: set[int],
+                            min_trips: float = OBVIOUS_LOOP_MIN_TRIPS
+                            ) -> set[int]:
+    """CFG edge uids to mark cold to disconnect every obvious loop.
+
+    For each loop with an all-obvious body and average trip count of at
+    least ``min_trips``, the loop's entry edges, exit edges, and back
+    edges are returned; marking them cold removes the loop (and all paths
+    through it) from the profiling DAG.
+    """
+    extra: set[int] = set()
+    for loop in loops:
+        if loop_average_trips(loop, cfg, profile) < min_trips:
+            continue
+        if not loop_is_obvious(cfg, loop, cold_cfg):
+            continue
+        for e in loop.entry_edges(cfg):
+            extra.add(e.uid)
+        for e in loop.exit_edges(cfg):
+            extra.add(e.uid)
+        for e in loop.back_edges:
+            extra.add(e.uid)
+    return extra

@@ -1,0 +1,72 @@
+"""Instrumentation operations placed on CFG edges.
+
+These are the only operations the Ball-Larus family ever inserts
+(Section 3.1, Figure 1(e-g)):
+
+* ``SetReg(v)``   -- ``r = v`` (path-register initialisation, or poison)
+* ``AddReg(v)``   -- ``r += v`` (path-register increment)
+* ``CountReg(a)`` -- ``count[r + a]++`` (``a`` is 0 before combining)
+* ``CountConst(v)`` -- ``count[v]++`` (fully combined: constant index)
+
+With TPP-style poisoning, counting ops additionally test ``r < 0`` and
+bump a cold counter instead (the *poison check* PPP eliminates); that
+variant is selected per plan, not per op, and is handled by the runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class InstrOp:
+    """Base class for instrumentation operations."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SetReg(InstrOp):
+    """``r = value``.  ``poison`` marks cold-edge poisoning sets."""
+
+    value: int
+    poison: bool = False
+
+    def __str__(self) -> str:
+        suffix = "  ; poison" if self.poison else ""
+        return f"r = {self.value}{suffix}"
+
+
+@dataclass(frozen=True)
+class AddReg(InstrOp):
+    """``r += value``."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"r += {self.value}"
+
+
+@dataclass(frozen=True)
+class CountReg(InstrOp):
+    """``count[r + add]++``."""
+
+    add: int = 0
+
+    def __str__(self) -> str:
+        idx = "r" if self.add == 0 else f"r + {self.add}"
+        return f"count[{idx}]++"
+
+
+@dataclass(frozen=True)
+class CountConst(InstrOp):
+    """``count[value]++`` -- the cheapest, fully-combined form."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"count[{self.value}]++"
+
+
+def describe(ops: list[InstrOp]) -> str:
+    """Human-readable rendering of an edge's instrumentation."""
+    return "; ".join(str(op) for op in ops) if ops else "(none)"

@@ -1,0 +1,97 @@
+"""Command-line driver: ``python -m repro.harness <experiment> [options]``.
+
+Experiments: ``table1``, ``table2``, ``fig9``, ``fig10``, ``fig11``,
+``fig12``, ``fig13``, ``oaat`` (the Section 8.3 one-at-a-time study), or
+``all``.  ``--scale`` stretches every workload's driver loops;
+``--benchmarks`` restricts the suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..workloads import SUITE, get_workload
+from . import (figure9, figure10, figure11, figure12, figure13,
+               hpt_table, ifconvert_table, metrics_table, net_table,
+               one_at_a_time, run_suite, sampling_table, superblock_table,
+               table1, table2)
+
+EXPERIMENTS = ("table1", "table2", "fig9", "fig10", "fig11", "fig12",
+               "fig13", "oaat", "net", "superblocks", "ifconvert",
+               "metrics", "sampling", "hpt", "all")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload scale factor (default 1)")
+    parser.add_argument("--benchmarks", type=str, default="",
+                        help="comma-separated benchmark subset")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+    parser.add_argument("--save-dir", metavar="DIR", default="",
+                        help="also write each rendering to DIR/<name>.txt")
+    parser.add_argument("--json", metavar="FILE", default="",
+                        help="dump all per-benchmark metrics as JSON")
+    args = parser.parse_args(argv)
+
+    if args.benchmarks:
+        workloads = [get_workload(n.strip())
+                     for n in args.benchmarks.split(",") if n.strip()]
+    else:
+        workloads = SUITE
+
+    start = time.time()
+    if not args.quiet:
+        print(f"running {len(workloads)} workloads at scale "
+              f"{args.scale} ...", flush=True)
+    results = run_suite(workloads, scale=args.scale,
+                        verbose=not args.quiet)
+
+    wanted = ([args.experiment] if args.experiment != "all"
+              else ["table1", "table2", "fig9", "fig10", "fig11", "fig12",
+                    "fig13", "oaat", "net", "superblocks", "ifconvert",
+                    "metrics", "sampling", "hpt"])
+    renderers = {
+        "table1": table1,
+        "table2": table2,
+        "fig9": figure9,
+        "fig10": figure10,
+        "fig11": figure11,
+        "fig12": figure12,
+        "fig13": figure13,
+        "oaat": one_at_a_time,
+        "net": net_table,
+        "superblocks": superblock_table,
+        "ifconvert": ifconvert_table,
+        "metrics": metrics_table,
+        "sampling": sampling_table,
+        "hpt": hpt_table,
+    }
+    for name in wanted:
+        text = renderers[name](results)
+        print()
+        print(text)
+        if args.save_dir:
+            import pathlib
+            out = pathlib.Path(args.save_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"{name}.txt").write_text(text + "\n")
+    if args.json:
+        from .json_export import save_suite_json
+        with open(args.json, "w") as handle:
+            save_suite_json(results, handle)
+        if not args.quiet:
+            print(f"\n[metrics written to {args.json}]")
+    if not args.quiet:
+        print(f"\n[{time.time() - start:.1f}s total]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

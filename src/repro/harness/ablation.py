@@ -1,0 +1,135 @@
+"""Figure 13: the leave-one-out study of PPP's techniques (Section 8.3).
+
+For the benchmarks where PPP improves on TPP by more than 5%, each of
+PPP's techniques is disabled in turn and the resulting overhead is
+reported normalised to TPP's (values below 1.0 beat TPP).  SAC covers
+both the global edge criterion and self-adjustment, as in the paper.
+
+Section 8.3 also sketches a *one-at-a-time* methodology (TPP plus a single
+technique); :func:`one_at_a_time` reproduces that for LC and SPN, the two
+techniques the leave-one-out view undervalues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import (DEFAULT_CONFIG, ProfilerConfig, plan_ppp,
+                    ppp_config_only, ppp_config_without)
+from .report import render_table
+from .runner import WorkloadResult, score_technique
+
+TECHNIQUE_LABELS = ("SAC", "FP", "Push", "SPN", "LC")
+IMPROVEMENT_GATE = 0.05  # Section 8.3: benchmarks where PPP wins by > 5%
+
+
+@dataclass
+class AblationRow:
+    benchmark: str
+    tpp_overhead: float
+    ppp_overhead: float
+    # overheads with one technique removed, keyed by technique label
+    without: dict[str, float]
+
+
+def _normalise(overhead: float, tpp_overhead: float) -> float:
+    """Overhead relative to TPP.  When TPP itself has ~zero overhead the
+    ratio is meaningless; report 1.0 (parity)."""
+    if tpp_overhead <= 1e-9:
+        return 1.0
+    return overhead / tpp_overhead
+
+
+def select_benchmarks(results: dict[str, WorkloadResult],
+                      gate: float = IMPROVEMENT_GATE) -> list[str]:
+    """Benchmarks where PPP improves on TPP by more than ``gate``."""
+    out = []
+    for name, r in results.items():
+        tpp = r.techniques["tpp"].overhead
+        ppp = r.techniques["ppp"].overhead
+        if tpp > 0 and (tpp - ppp) / tpp > gate:
+            out.append(name)
+    return out
+
+
+def leave_one_out(results: dict[str, WorkloadResult],
+                  base: ProfilerConfig = DEFAULT_CONFIG,
+                  benchmarks: list[str] | None = None) -> list[AblationRow]:
+    """Re-plan and re-run PPP with each technique disabled."""
+    chosen = benchmarks if benchmarks is not None \
+        else select_benchmarks(results)
+    rows: list[AblationRow] = []
+    for name in chosen:
+        r = results[name]
+        without: dict[str, float] = {}
+        for technique in TECHNIQUE_LABELS:
+            config = ppp_config_without(technique, base)
+            plan = plan_ppp(r.expanded, r.edge_profile, config)
+            tech = score_technique(f"ppp-{technique}", plan, r.actual,
+                                   r.edge_profile,
+                                   expected_return=r.return_value)
+            without[technique] = tech.overhead
+        rows.append(AblationRow(
+            benchmark=name,
+            tpp_overhead=r.techniques["tpp"].overhead,
+            ppp_overhead=r.techniques["ppp"].overhead,
+            without=without,
+        ))
+    return rows
+
+
+def figure13(results: dict[str, WorkloadResult],
+             base: ProfilerConfig = DEFAULT_CONFIG) -> str:
+    rows = leave_one_out(results, base)
+    headers = (["Benchmark", "PPP"]
+               + [f"no {t}" for t in TECHNIQUE_LABELS])
+    cells = []
+    for row in rows:
+        line: list[object] = [
+            row.benchmark,
+            f"{_normalise(row.ppp_overhead, row.tpp_overhead):.2f}"]
+        for t in TECHNIQUE_LABELS:
+            line.append(f"{_normalise(row.without[t], row.tpp_overhead):.2f}")
+        cells.append(line)
+    if not cells:
+        cells.append(["(no benchmark improves on TPP by > 5%)"] +
+                     [""] * (len(headers) - 1))
+    return render_table(
+        headers, cells,
+        title=("Figure 13. PPP leave-one-out overhead normalised to TPP "
+               "(lower is better; 1.00 = TPP)."))
+
+
+def one_at_a_time(results: dict[str, WorkloadResult],
+                  base: ProfilerConfig = DEFAULT_CONFIG,
+                  techniques: tuple[str, ...] = ("LC", "SPN"),
+                  benchmarks: list[str] | None = None) -> str:
+    """Section 8.3's alternative view: TPP-equivalent PPP plus exactly one
+    technique, reported as overhead relative to the none-enabled config."""
+    chosen = benchmarks if benchmarks is not None \
+        else select_benchmarks(results)
+    headers = ["Benchmark", "none"] + list(techniques)
+    cells = []
+    for name in chosen:
+        r = results[name]
+        line: list[object] = [name]
+        base_plan = plan_ppp(r.expanded, r.edge_profile,
+                             ppp_config_only("none", base))
+        base_tech = score_technique("ppp-none", base_plan, r.actual,
+                                    r.edge_profile,
+                                    expected_return=r.return_value)
+        line.append(f"{base_tech.overhead * 100:.1f}%")
+        for technique in techniques:
+            plan = plan_ppp(r.expanded, r.edge_profile,
+                            ppp_config_only(technique, base))
+            tech = score_technique(f"ppp+{technique}", plan, r.actual,
+                                   r.edge_profile,
+                                   expected_return=r.return_value)
+            line.append(f"{tech.overhead * 100:.1f}%")
+        cells.append(line)
+    if not cells:
+        cells.append(["(no benchmark improves on TPP by > 5%)"] +
+                     [""] * (len(headers) - 1))
+    return render_table(headers, cells,
+                        title=("One-at-a-time overheads (Section 8.3): "
+                               "baseline config plus one technique."))

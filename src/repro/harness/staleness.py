@@ -1,0 +1,91 @@
+"""Profile staleness: how PPP degrades when its edge profile is old.
+
+The paper's methodology uses *self advice* -- the edge profile comes from
+the same run being profiled -- and argues that is realistic for a dynamic
+optimizer (Section 7.2).  This study quantifies the other direction: plan
+PPP from an edge profile collected on a *smaller* run of the same program
+(a stale profile, as an offline-advice system would have), then profile
+the full-size run with it.
+
+Profiles transfer between the two compiles through the serialization
+layer, which keys edges by block names rather than uids; the two modules
+have identical CFGs (only loop-bound constants differ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import (build_estimated_profile, evaluate_accuracy,
+                    evaluate_coverage, plan_ppp, run_with_plan)
+from ..profiles.serialize import (edge_profile_from_dict,
+                                  edge_profile_to_dict)
+from .report import render_table
+from .runner import ground_truth
+from ..workloads import Workload
+
+
+@dataclass
+class StalenessRow:
+    benchmark: str
+    fresh_accuracy: float
+    stale_accuracy: float
+    fresh_coverage: float
+    stale_coverage: float
+    fresh_overhead: float
+    stale_overhead: float
+
+
+def staleness_study(workload: Workload, small_scale: int = 1,
+                    big_scale: int = 2) -> StalenessRow:
+    """Fresh (self) advice vs stale (small-run) advice on one workload.
+
+    Works on the unexpanded modules: inlining/unrolling decisions depend
+    on the profile, so expanded CFGs would differ between the two scales
+    and the profile could not transfer.  (Scale only changes loop-bound
+    constants, so the unexpanded CFGs are identical.)
+    """
+    small_module = workload.compile(small_scale)
+    big_module = workload.compile(big_scale)
+    _sa, small_profile, _sr = ground_truth(small_module)
+    actual, fresh_profile, _rv = ground_truth(big_module)
+
+    # Transfer the small run's edge profile onto the big module.
+    stale_profile = edge_profile_from_dict(
+        edge_profile_to_dict(small_profile), big_module)
+
+    rows = {}
+    for label, profile in (("fresh", fresh_profile),
+                           ("stale", stale_profile)):
+        plan = plan_ppp(big_module, profile)
+        run = run_with_plan(plan)
+        est = build_estimated_profile(run, fresh_profile)
+        rows[label] = (
+            evaluate_accuracy(actual, est.flows),
+            evaluate_coverage(run, actual, fresh_profile),
+            run.overhead,
+        )
+    return StalenessRow(
+        benchmark=workload.name,
+        fresh_accuracy=rows["fresh"][0], stale_accuracy=rows["stale"][0],
+        fresh_coverage=rows["fresh"][1], stale_coverage=rows["stale"][1],
+        fresh_overhead=rows["fresh"][2], stale_overhead=rows["stale"][2],
+    )
+
+
+def staleness_table(workloads: list[Workload]) -> str:
+    rows = []
+    for workload in workloads:
+        r = staleness_study(workload)
+        rows.append([r.benchmark,
+                     f"{r.fresh_accuracy * 100:.0f}%",
+                     f"{r.stale_accuracy * 100:.0f}%",
+                     f"{r.fresh_coverage * 100:.0f}%",
+                     f"{r.stale_coverage * 100:.0f}%",
+                     f"{r.fresh_overhead * 100:.1f}%",
+                     f"{r.stale_overhead * 100:.1f}%"])
+    return render_table(
+        ["Benchmark", "Acc fresh", "Acc stale", "Cov fresh", "Cov stale",
+         "Ovh fresh", "Ovh stale"], rows,
+        title=("Staleness: PPP planned from self advice vs a smaller "
+               "run's edge profile."))

@@ -1,0 +1,9 @@
+"""IR interpreter: execution, edge hooks, path tracing, cost accounting."""
+
+from .costs import DEFAULT_COSTS, CostCounter, CostModel
+from .machine import EdgeHook, Frame, Machine, MachineError, RunResult, run_module
+
+__all__ = [
+    "DEFAULT_COSTS", "CostCounter", "CostModel",
+    "EdgeHook", "Frame", "Machine", "MachineError", "RunResult", "run_module",
+]

@@ -1,0 +1,67 @@
+"""Deterministic cost model for measuring profiling overhead.
+
+The paper measures overhead as wall-clock slowdown on an Alpha 21164.  A
+Python interpreter cannot reproduce those absolute numbers (repro band:
+"overhead measurements lose fidelity"), so overhead here is measured with a
+deterministic cost model: every executed IR instruction and every executed
+instrumentation operation has a fixed cost, and
+
+    overhead = instrumentation cost / baseline program cost.
+
+The relative costs follow the paper: Joshi et al. estimate a hashed counter
+update is about five times the cost of an array update (Section 3.2), and
+combined instrumentation (``count[r+v]++``) costs the same as its
+uncombined counting half -- which is exactly why Ball-Larus pushing and
+PPP's more aggressive pushing pay off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unit costs for program work and instrumentation work.
+
+    Attributes
+    ----------
+    ir_instruction:
+        Cost of one executed IR instruction (the baseline workload).
+    reg_set / reg_add:
+        Path-register initialisation (``r = v``) and increment (``r += v``).
+    count_array:
+        One path-counter update through a direct array (``count[i]++``).
+    count_hash:
+        One path-counter update through the 701-slot hash table; about five
+        times the array cost, per the paper.
+    poison_check:
+        The extra conditional TPP executes per counted path when poison
+        checks are enabled (PPP's free poisoning removes it).
+    """
+
+    ir_instruction: float = 1.0
+    reg_set: float = 1.0
+    reg_add: float = 1.0
+    count_array: float = 2.0
+    count_hash: float = 10.0
+    poison_check: float = 1.0
+
+
+DEFAULT_COSTS = CostModel()
+
+
+@dataclass
+class CostCounter:
+    """Mutable accumulator threaded through one execution."""
+
+    base: float = 0.0
+    instrumentation: float = 0.0
+    instrumentation_ops: int = 0
+
+    @property
+    def overhead(self) -> float:
+        """Instrumentation cost as a fraction of baseline cost."""
+        if self.base == 0:
+            return 0.0
+        return self.instrumentation / self.base

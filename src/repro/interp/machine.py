@@ -1,0 +1,437 @@
+"""The IR interpreter (virtual machine).
+
+The machine executes an IR :class:`~repro.ir.function.Module` and provides
+the three observation channels the reproduction needs:
+
+* **edge profiling** -- per-function edge traversal counts plus invocation
+  counts, from which :mod:`repro.profiles` builds edge profiles;
+* **ground-truth path tracing** -- exact Ball-Larus path counts (a back
+  edge ends the current path; a call defers the caller's path; routine
+  entry/exit start/end paths), the oracle all estimated profiles are
+  scored against;
+* **edge hooks** -- arbitrary callables attached to CFG edges, which is how
+  PP/TPP/PPP instrumentation executes: the hook runs exactly when its edge
+  is traversed, just like instrumentation code inserted on that edge.
+
+Semantics notes: registers are implicitly zero-initialised per activation;
+array indices wrap modulo the array length; division by zero yields zero.
+These choices keep every workload deterministic and crash-free, which
+matters because profiling must never change program behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..ir.function import Function, Module
+from ..ir.instructions import (BinOp, Branch, Call, Const, GlobalLoad,
+                               GlobalStore, Jump, Load, Mov, Ret, Select,
+                               Store, UnOp)
+from ..cfg.loops import find_back_edges
+from .costs import CostCounter, CostModel, DEFAULT_COSTS
+
+# Opcodes of the compiled (tuple) representation.
+_CONST, _MOV, _BINOP, _UNOP, _LOAD, _STORE = 0, 1, 2, 3, 4, 5
+_GLOAD, _GSTORE, _CALL, _JUMP, _BRANCH, _RET = 6, 7, 8, 9, 10, 11
+_SELECT = 12
+
+
+def _c_div(a, b):
+    if b == 0:
+        return 0
+    if isinstance(a, int) and isinstance(b, int):
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    return a / b
+
+
+def _c_mod(a, b):
+    if b == 0:
+        return 0
+    if isinstance(a, int) and isinstance(b, int):
+        return a - _c_div(a, b) * b
+    return a - b * int(a / b) if b else 0
+
+
+_BIN_FNS: dict[str, Callable] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _c_div,
+    "%": _c_mod,
+    "<": lambda a, b: 1 if a < b else 0,
+    "<=": lambda a, b: 1 if a <= b else 0,
+    ">": lambda a, b: 1 if a > b else 0,
+    ">=": lambda a, b: 1 if a >= b else 0,
+    "==": lambda a, b: 1 if a == b else 0,
+    "!=": lambda a, b: 1 if a != b else 0,
+    "&": lambda a, b: int(a) & int(b),
+    "|": lambda a, b: int(a) | int(b),
+    "^": lambda a, b: int(a) ^ int(b),
+    "<<": lambda a, b: int(a) << (int(b) & 63),
+    ">>": lambda a, b: int(a) >> (int(b) & 63),
+}
+
+_UN_FNS: dict[str, Callable] = {
+    "-": lambda a: -a,
+    "!": lambda a: 1 if a == 0 else 0,
+    "~": lambda a: ~int(a),
+}
+
+
+class MachineError(Exception):
+    """Raised for runtime failures (unknown function, step limit, ...)."""
+
+
+EdgeHook = Callable[["Frame"], None]
+
+
+class Frame:
+    """One activation: registers, local arrays, and path-profiling state."""
+
+    __slots__ = ("func_name", "regs", "arrays", "block", "ip", "ret_dst",
+                 "path_reg", "path_blocks")
+
+    def __init__(self, func_name: str, num_slots: int,
+                 arrays: dict[str, list], entry: str):
+        self.func_name = func_name
+        self.regs: list = [0] * num_slots
+        self.arrays = arrays
+        self.block = entry
+        self.ip = 0
+        self.ret_dst: Optional[int] = None  # caller slot for the return value
+        self.path_reg = 0  # Ball-Larus path register (per activation)
+        self.path_blocks: Optional[list[str]] = None  # tracer state
+
+
+class _CompiledFunction:
+    """Per-function lookup tables built once per Machine."""
+
+    __slots__ = ("func", "blocks", "entry", "exit", "param_slots",
+                 "num_slots", "array_sizes", "edge_uid", "is_back", "hooks")
+
+    def __init__(self, func: Function, module: Module):
+        if not func.sealed:
+            raise MachineError(f"function {func.name!r} is not sealed")
+        self.func = func
+        self.entry = func.cfg.entry
+        self.exit = func.cfg.exit
+        self.num_slots = func.num_slots
+        self.param_slots = [func.register_slots[p] for p in func.params]
+        self.array_sizes = dict(func.arrays)
+        slots = func.register_slots
+        self.blocks: dict[str, list[tuple]] = {}
+        for name, block in func.cfg.blocks.items():
+            self.blocks[name] = [
+                self._compile(instr, slots, func, module)
+                for instr in block.instructions
+            ]
+        # (block, target) -> cfg edge uid, and whether that edge is a back edge
+        self.edge_uid: dict[tuple[str, str], int] = {}
+        self.is_back: dict[tuple[str, str], bool] = {}
+        back_uids = {e.uid for e in find_back_edges(func.cfg)}
+        for bname, table in func.edge_by_target.items():
+            for target, edge in table.items():
+                self.edge_uid[(bname, target)] = edge.uid
+                self.is_back[(bname, target)] = edge.uid in back_uids
+        self.hooks: dict[tuple[str, str], EdgeHook] = {}
+
+    def _compile(self, instr, slots: dict[str, int], func: Function,
+                 module: Module) -> tuple:
+        s = slots.__getitem__
+        if isinstance(instr, Const):
+            return (_CONST, s(instr.dst), instr.value)
+        if isinstance(instr, Mov):
+            return (_MOV, s(instr.dst), s(instr.src))
+        if isinstance(instr, BinOp):
+            return (_BINOP, _BIN_FNS[instr.op], s(instr.dst),
+                    s(instr.a), s(instr.b))
+        if isinstance(instr, UnOp):
+            return (_UNOP, _UN_FNS[instr.op], s(instr.dst), s(instr.a))
+        if isinstance(instr, Load):
+            scope = "local" if instr.array in func.arrays else "global"
+            return (_LOAD, s(instr.dst), scope, instr.array, s(instr.idx))
+        if isinstance(instr, Store):
+            scope = "local" if instr.array in func.arrays else "global"
+            return (_STORE, scope, instr.array, s(instr.idx), s(instr.src))
+        if isinstance(instr, GlobalLoad):
+            return (_GLOAD, s(instr.dst), instr.name)
+        if isinstance(instr, GlobalStore):
+            return (_GSTORE, instr.name, s(instr.src))
+        if isinstance(instr, Call):
+            dst = s(instr.dst) if instr.dst is not None else None
+            return (_CALL, dst, instr.func, tuple(s(a) for a in instr.args))
+        if isinstance(instr, Jump):
+            return (_JUMP, instr.target)
+        if isinstance(instr, Branch):
+            return (_BRANCH, s(instr.cond), instr.then_target,
+                    instr.else_target)
+        if isinstance(instr, Ret):
+            return (_RET, s(instr.src) if instr.src is not None else None)
+        if isinstance(instr, Select):
+            return (_SELECT, s(instr.dst), s(instr.cond), s(instr.a),
+                    s(instr.b))
+        raise MachineError(f"cannot compile {instr!r}")  # pragma: no cover
+
+
+@dataclass
+class RunResult:
+    """Everything one execution observed."""
+
+    return_value: object
+    instructions_executed: int
+    costs: CostCounter
+    # func name -> cfg edge uid -> traversal count
+    edge_counts: Optional[dict[str, dict[int, int]]] = None
+    # func name -> invocation count
+    invocations: Optional[dict[str, int]] = None
+    # func name -> path (tuple of block names) -> count
+    path_counts: Optional[dict[str, dict[tuple[str, ...], int]]] = None
+
+    @property
+    def overhead(self) -> float:
+        return self.costs.overhead
+
+
+class Machine:
+    """Executes a module; see the module docstring for the observation modes.
+
+    Parameters
+    ----------
+    module:
+        A sealed, validated IR module.
+    collect_edge_profile:
+        Count every edge traversal and function invocation.
+    trace_paths:
+        Record exact Ball-Larus path counts (slower; used as ground truth).
+    cost_model:
+        Unit costs; instrumentation hooks share the same
+        :class:`CostCounter` through :attr:`costs`.
+    max_instructions:
+        Safety valve against runaway workloads.
+    """
+
+    def __init__(self, module: Module, collect_edge_profile: bool = False,
+                 trace_paths: bool = False,
+                 cost_model: CostModel = DEFAULT_COSTS,
+                 max_instructions: int = 500_000_000,
+                 path_listener: Optional[
+                     Callable[[str, tuple[str, ...]], None]] = None):
+        self.module = module
+        self.collect_edge_profile = collect_edge_profile
+        # A path listener needs the tracer's bookkeeping to see paths.
+        self.trace_paths = trace_paths or path_listener is not None
+        self.path_listener = path_listener
+        self.cost_model = cost_model
+        self.max_instructions = max_instructions
+        self.costs = CostCounter()
+        self.compiled: dict[str, _CompiledFunction] = {}
+        for name, func in module.functions.items():
+            self.compiled[name] = _CompiledFunction(func, module)
+        self.global_scalars: dict[str, object] = dict(module.global_scalars)
+        self.global_arrays: dict[str, list] = {
+            name: [0] * size for name, size in module.global_arrays.items()}
+        self.edge_counts: dict[str, dict[int, int]] = {
+            name: {} for name in module.functions}
+        self.invocations: dict[str, int] = {name: 0 for name
+                                            in module.functions}
+        self.path_counts: dict[str, dict[tuple[str, ...], int]] = {
+            name: {} for name in module.functions}
+        self.instructions_executed = 0
+
+    # ------------------------------------------------------------------
+    # Instrumentation attachment
+    # ------------------------------------------------------------------
+
+    def set_edge_hook(self, func_name: str, edge_uid: int,
+                      hook: EdgeHook) -> None:
+        """Attach a hook to a CFG edge; it runs on every traversal."""
+        cf = self.compiled[func_name]
+        for key, uid in cf.edge_uid.items():
+            if uid == edge_uid:
+                cf.hooks[key] = hook
+                return
+        raise MachineError(
+            f"no edge with uid {edge_uid} in function {func_name!r}")
+
+    def clear_hooks(self) -> None:
+        for cf in self.compiled.values():
+            cf.hooks.clear()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, func_name: Optional[str] = None,
+            args: tuple = ()) -> RunResult:
+        """Execute ``func_name`` (default: the module's main) to completion."""
+        name = func_name if func_name is not None else self.module.main
+        if name not in self.compiled:
+            raise MachineError(f"unknown function {name!r}")
+        self._execute(name, args)
+        return self.result()
+
+    def result(self) -> RunResult:
+        return RunResult(
+            return_value=self._last_return,
+            instructions_executed=self.instructions_executed,
+            costs=self.costs,
+            edge_counts=self.edge_counts if self.collect_edge_profile else None,
+            # Invocation counting is always on (frames are counted as they
+            # are created); expose it unconditionally -- profiling a
+            # zero-edge routine degenerates to exactly this counter.
+            invocations=self.invocations,
+            path_counts=self.path_counts if self.trace_paths else None,
+        )
+
+    _last_return: object = 0
+
+    def _new_frame(self, cf: _CompiledFunction, args: tuple) -> Frame:
+        if len(args) != len(cf.param_slots):
+            raise MachineError(
+                f"{cf.func.name}: expected {len(cf.param_slots)} args, "
+                f"got {len(args)}")
+        arrays = {name: [0] * size for name, size in cf.array_sizes.items()}
+        frame = Frame(cf.func.name, cf.num_slots, arrays, cf.entry)
+        for slot, value in zip(cf.param_slots, args):
+            frame.regs[slot] = value
+        if self.trace_paths:
+            frame.path_blocks = [cf.entry]
+        self.invocations[cf.func.name] += 1
+        return frame
+
+    def _execute(self, name: str, args: tuple) -> None:
+        compiled = self.compiled
+        cm = self.cost_model
+        costs = self.costs
+        edge_counts = self.edge_counts
+        path_counts = self.path_counts
+        trace = self.trace_paths
+        listener = self.path_listener
+        profile = self.collect_edge_profile
+        limit = self.max_instructions
+
+        cf = compiled[name]
+        frame = self._new_frame(cf, args)
+        stack: list[tuple[Frame, _CompiledFunction]] = [(frame, cf)]
+        executed_start = self.instructions_executed
+        executed = executed_start
+
+        while stack:
+            frame, cf = stack[-1]
+            code = cf.blocks[frame.block]
+            regs = frame.regs
+            ip = frame.ip
+            ncode = len(code)
+            transfer: Optional[str] = None
+            while ip < ncode:
+                op = code[ip]
+                ip += 1
+                executed += 1
+                kind = op[0]
+                if kind == _BINOP:
+                    regs[op[2]] = op[1](regs[op[3]], regs[op[4]])
+                elif kind == _CONST:
+                    regs[op[1]] = op[2]
+                elif kind == _MOV:
+                    regs[op[1]] = regs[op[2]]
+                elif kind == _BRANCH:
+                    transfer = op[2] if regs[op[1]] else op[3]
+                    break
+                elif kind == _JUMP:
+                    transfer = op[1]
+                    break
+                elif kind == _LOAD:
+                    arr = (frame.arrays[op[3]] if op[2] == "local"
+                           else self.global_arrays[op[3]])
+                    regs[op[1]] = arr[int(regs[op[4]]) % len(arr)]
+                elif kind == _STORE:
+                    arr = (frame.arrays[op[2]] if op[1] == "local"
+                           else self.global_arrays[op[2]])
+                    arr[int(regs[op[3]]) % len(arr)] = regs[op[4]]
+                elif kind == _UNOP:
+                    regs[op[2]] = op[1](regs[op[3]])
+                elif kind == _GLOAD:
+                    regs[op[1]] = self.global_scalars[op[2]]
+                elif kind == _GSTORE:
+                    self.global_scalars[op[1]] = regs[op[2]]
+                elif kind == _SELECT:
+                    regs[op[1]] = regs[op[3]] if regs[op[2]] else regs[op[4]]
+                elif kind == _CALL:
+                    callee = compiled.get(op[2])
+                    if callee is None:
+                        raise MachineError(f"call to unknown {op[2]!r}")
+                    frame.ip = ip  # resume after the call
+                    new_frame = self._new_frame(
+                        callee, tuple(regs[a] for a in op[3]))
+                    new_frame.ret_dst = op[1]
+                    stack.append((new_frame, callee))
+                    transfer = ""  # sentinel: switch to callee
+                    break
+                elif kind == _RET:
+                    value = regs[op[1]] if op[1] is not None else 0
+                    if trace and frame.path_blocks:
+                        key = tuple(frame.path_blocks)
+                        pc = path_counts[cf.func.name]
+                        pc[key] = pc.get(key, 0) + 1
+                        if listener is not None:
+                            listener(cf.func.name, key)
+                    stack.pop()
+                    if stack:
+                        caller, _ = stack[-1]
+                        if frame.ret_dst is not None:
+                            caller.regs[frame.ret_dst] = value
+                    else:
+                        self._last_return = value
+                    transfer = ""  # sentinel: frame switch
+                    break
+                else:  # pragma: no cover - defensive
+                    raise MachineError(f"bad opcode {kind}")
+            if executed > limit:
+                self.instructions_executed = executed
+                raise MachineError(
+                    f"instruction limit exceeded ({limit})")
+            if transfer is None:
+                raise MachineError(  # pragma: no cover - sealed IR prevents it
+                    f"block {frame.block!r} fell through")
+            if transfer == "":
+                continue  # call or return switched frames
+            # --- edge traversal: profile, hooks, tracer -----------------
+            key = (frame.block, transfer)
+            if profile:
+                uid = cf.edge_uid[key]
+                ec = edge_counts[cf.func.name]
+                ec[uid] = ec.get(uid, 0) + 1
+            hook = cf.hooks.get(key)
+            if hook is not None:
+                hook(frame)
+            if trace:
+                if cf.is_back[key]:
+                    blocks = frame.path_blocks
+                    assert blocks is not None
+                    pkey = tuple(blocks)
+                    pc = path_counts[cf.func.name]
+                    pc[pkey] = pc.get(pkey, 0) + 1
+                    if listener is not None:
+                        listener(cf.func.name, pkey)
+                    frame.path_blocks = [transfer]
+                else:
+                    blocks = frame.path_blocks
+                    assert blocks is not None
+                    blocks.append(transfer)
+            frame.block = transfer
+            frame.ip = 0
+        self.instructions_executed = executed
+        costs.base += (executed - executed_start) * cm.ir_instruction
+
+
+def run_module(module: Module, func: Optional[str] = None, args: tuple = (),
+               collect_edge_profile: bool = False, trace_paths: bool = False,
+               cost_model: CostModel = DEFAULT_COSTS,
+               max_instructions: int = 500_000_000) -> RunResult:
+    """One-shot convenience wrapper around :class:`Machine`."""
+    machine = Machine(module, collect_edge_profile=collect_edge_profile,
+                      trace_paths=trace_paths, cost_model=cost_model,
+                      max_instructions=max_instructions)
+    return machine.run(func, args)

@@ -1,0 +1,18 @@
+"""Register-based IR: instructions, functions, modules, builder, validator."""
+
+from .instructions import (BINARY_OPS, UNARY_OPS, BinOp, Branch, Call, Const,
+                           GlobalLoad, GlobalStore, Instr, Jump, Load, Mov,
+                           Ret, Select, Store, UnOp)
+from .function import Function, IRError, Module
+from .builder import IRBuilder
+from .validate import check_module, validate_function, validate_module
+from .printer import format_function, format_module
+
+__all__ = [
+    "BINARY_OPS", "UNARY_OPS", "BinOp", "Branch", "Call", "Const",
+    "GlobalLoad", "GlobalStore", "Instr", "Jump", "Load", "Mov", "Ret",
+    "Select", "Store", "UnOp",
+    "Function", "IRError", "Module", "IRBuilder",
+    "check_module", "validate_function", "validate_module",
+    "format_function", "format_module",
+]

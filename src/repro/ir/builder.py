@@ -1,0 +1,131 @@
+"""A small convenience builder for constructing IR functions by hand.
+
+The MiniC front end lowers through this builder, and tests use it directly
+to build precise CFG shapes (diamonds, nested loops, the paper's figures).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .function import Function, IRError
+from .instructions import (BinOp, Branch, Call, Const, GlobalLoad,
+                           GlobalStore, Jump, Load, Mov, Ret, Store, UnOp)
+
+
+class IRBuilder:
+    """Builds one :class:`Function`, tracking a current insertion block."""
+
+    def __init__(self, name: str, params: Optional[Sequence[str]] = None):
+        self.function = Function(name, list(params or []))
+        self._current: Optional[str] = None
+        self._entry: Optional[str] = None
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # Blocks
+    # ------------------------------------------------------------------
+
+    def new_block(self, hint: str = "bb") -> str:
+        """Create a fresh uniquely-named block (does not switch to it)."""
+        name = f"{hint}{self._label_counter}"
+        self._label_counter += 1
+        while name in self.function.cfg.blocks:
+            name = f"{hint}{self._label_counter}"
+            self._label_counter += 1
+        self.function.add_block(name)
+        return name
+
+    def block(self, name: str) -> str:
+        """Create a block with an exact name and switch to it."""
+        self.function.add_block(name)
+        if self._entry is None:
+            self._entry = name
+        self._current = name
+        return name
+
+    def switch_to(self, name: str) -> None:
+        if name not in self.function.cfg.blocks:
+            raise IRError(f"unknown block {name!r}")
+        if self._entry is None:
+            self._entry = name
+        self._current = name
+
+    @property
+    def current(self) -> str:
+        if self._current is None:
+            raise IRError("no current block; call block() first")
+        return self._current
+
+    def is_terminated(self) -> bool:
+        instrs = self.function.instructions(self.current)
+        return bool(instrs) and instrs[-1].is_terminator
+
+    # ------------------------------------------------------------------
+    # Instructions
+    # ------------------------------------------------------------------
+
+    def const(self, dst: str, value) -> str:
+        self.function.append(self.current, Const(dst, value))
+        return dst
+
+    def mov(self, dst: str, src: str) -> str:
+        self.function.append(self.current, Mov(dst, src))
+        return dst
+
+    def binop(self, op: str, dst: str, a: str, b: str) -> str:
+        self.function.append(self.current, BinOp(op, dst, a, b))
+        return dst
+
+    def unop(self, op: str, dst: str, a: str) -> str:
+        self.function.append(self.current, UnOp(op, dst, a))
+        return dst
+
+    def load(self, dst: str, array: str, idx: str) -> str:
+        self.function.append(self.current, Load(dst, array, idx))
+        return dst
+
+    def store(self, array: str, idx: str, src: str) -> None:
+        self.function.append(self.current, Store(array, idx, src))
+
+    def gload(self, dst: str, name: str) -> str:
+        self.function.append(self.current, GlobalLoad(dst, name))
+        return dst
+
+    def gstore(self, name: str, src: str) -> None:
+        self.function.append(self.current, GlobalStore(name, src))
+
+    def call(self, dst: Optional[str], func: str,
+             args: Sequence[str] = ()) -> Optional[str]:
+        self.function.append(self.current, Call(dst, func, args))
+        return dst
+
+    # ------------------------------------------------------------------
+    # Terminators
+    # ------------------------------------------------------------------
+
+    def jump(self, target: str) -> None:
+        self.function.append(self.current, Jump(target))
+
+    def branch(self, cond: str, then_target: str, else_target: str) -> None:
+        if then_target == else_target:
+            self.function.append(self.current, Jump(then_target))
+        else:
+            self.function.append(self.current,
+                                 Branch(cond, then_target, else_target))
+
+    def ret(self, src: Optional[str] = None) -> None:
+        self.function.append(self.current, Ret(src))
+
+    # ------------------------------------------------------------------
+
+    def local_array(self, name: str, size: int) -> None:
+        self.function.add_local_array(name, size)
+
+    def finish(self, entry: Optional[str] = None) -> Function:
+        """Seal and return the function."""
+        start = entry if entry is not None else self._entry
+        if start is None:
+            raise IRError("function has no blocks")
+        self.function.seal(start)
+        return self.function

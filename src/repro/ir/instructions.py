@@ -1,0 +1,293 @@
+"""The instruction set of the register-based IR.
+
+The IR is deliberately small: enough to express the MiniC front end
+(:mod:`repro.lang`) and to give the interpreter (:mod:`repro.interp`)
+realistic work per basic block, while keeping the CFG structure -- which is
+all the path-profiling algorithms care about -- first class.
+
+Instructions are plain objects; each block's instruction list ends with
+exactly one *terminator* (``Jump``, ``Branch``, or ``Ret``).  Registers are
+named virtual registers, implicitly zero-initialised per activation frame.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+class Instr:
+    """Base class for IR instructions."""
+
+    __slots__ = ()
+    is_terminator = False
+
+    def registers_read(self) -> tuple[str, ...]:
+        return ()
+
+    def register_written(self) -> Optional[str]:
+        return None
+
+
+class Const(Instr):
+    """``dst = value`` where value is an int or float literal."""
+
+    __slots__ = ("dst", "value")
+
+    def __init__(self, dst: str, value):
+        self.dst = dst
+        self.value = value
+
+    def register_written(self):
+        return self.dst
+
+    def __repr__(self):
+        return f"{self.dst} = const {self.value!r}"
+
+
+class Mov(Instr):
+    """``dst = src``."""
+
+    __slots__ = ("dst", "src")
+
+    def __init__(self, dst: str, src: str):
+        self.dst = dst
+        self.src = src
+
+    def registers_read(self):
+        return (self.src,)
+
+    def register_written(self):
+        return self.dst
+
+    def __repr__(self):
+        return f"{self.dst} = {self.src}"
+
+
+BINARY_OPS = frozenset({
+    "+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=",
+    "&", "|", "^", "<<", ">>",
+})
+
+UNARY_OPS = frozenset({"-", "!", "~"})
+
+
+class BinOp(Instr):
+    """``dst = a <op> b`` for ``op`` in :data:`BINARY_OPS`.
+
+    Comparison operators produce 0/1.  ``/`` and ``%`` follow C semantics on
+    integers (truncation toward zero) and float semantics otherwise;
+    division by zero yields 0 so workloads never crash mid-profile.
+    """
+
+    __slots__ = ("op", "dst", "a", "b")
+
+    def __init__(self, op: str, dst: str, a: str, b: str):
+        if op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {op!r}")
+        self.op = op
+        self.dst = dst
+        self.a = a
+        self.b = b
+
+    def registers_read(self):
+        return (self.a, self.b)
+
+    def register_written(self):
+        return self.dst
+
+    def __repr__(self):
+        return f"{self.dst} = {self.a} {self.op} {self.b}"
+
+
+class UnOp(Instr):
+    """``dst = <op> a`` for ``op`` in :data:`UNARY_OPS`."""
+
+    __slots__ = ("op", "dst", "a")
+
+    def __init__(self, op: str, dst: str, a: str):
+        if op not in UNARY_OPS:
+            raise ValueError(f"unknown unary op {op!r}")
+        self.op = op
+        self.dst = dst
+        self.a = a
+
+    def registers_read(self):
+        return (self.a,)
+
+    def register_written(self):
+        return self.dst
+
+    def __repr__(self):
+        return f"{self.dst} = {self.op}{self.a}"
+
+
+class Select(Instr):
+    """``dst = cond ? a : b`` -- a branch-free conditional move.
+
+    Produced by if-conversion (:mod:`repro.opt.ifconvert`); both operands
+    are already evaluated, so a Select never has side effects.
+    """
+
+    __slots__ = ("dst", "cond", "a", "b")
+
+    def __init__(self, dst: str, cond: str, a: str, b: str):
+        self.dst = dst
+        self.cond = cond
+        self.a = a
+        self.b = b
+
+    def registers_read(self):
+        return (self.cond, self.a, self.b)
+
+    def register_written(self):
+        return self.dst
+
+    def __repr__(self):
+        return f"{self.dst} = {self.cond} ? {self.a} : {self.b}"
+
+
+class Load(Instr):
+    """``dst = array[idx]``; the array is a local or global array name."""
+
+    __slots__ = ("dst", "array", "idx")
+
+    def __init__(self, dst: str, array: str, idx: str):
+        self.dst = dst
+        self.array = array
+        self.idx = idx
+
+    def registers_read(self):
+        return (self.idx,)
+
+    def register_written(self):
+        return self.dst
+
+    def __repr__(self):
+        return f"{self.dst} = {self.array}[{self.idx}]"
+
+
+class Store(Instr):
+    """``array[idx] = src``."""
+
+    __slots__ = ("array", "idx", "src")
+
+    def __init__(self, array: str, idx: str, src: str):
+        self.array = array
+        self.idx = idx
+        self.src = src
+
+    def registers_read(self):
+        return (self.idx, self.src)
+
+    def __repr__(self):
+        return f"{self.array}[{self.idx}] = {self.src}"
+
+
+class GlobalLoad(Instr):
+    """``dst = @name`` -- read a module-level scalar."""
+
+    __slots__ = ("dst", "name")
+
+    def __init__(self, dst: str, name: str):
+        self.dst = dst
+        self.name = name
+
+    def register_written(self):
+        return self.dst
+
+    def __repr__(self):
+        return f"{self.dst} = @{self.name}"
+
+
+class GlobalStore(Instr):
+    """``@name = src`` -- write a module-level scalar."""
+
+    __slots__ = ("name", "src")
+
+    def __init__(self, name: str, src: str):
+        self.name = name
+        self.src = src
+
+    def registers_read(self):
+        return (self.src,)
+
+    def __repr__(self):
+        return f"@{self.name} = {self.src}"
+
+
+class Call(Instr):
+    """``dst = func(args...)``; ``dst`` may be None for void calls.
+
+    Per the Ball-Larus path definition (Section 3.1), a call *defers* the
+    caller's current path: the callee runs its own paths and the caller's
+    path resumes on return.  The interpreter and the ground-truth tracer
+    implement exactly that.
+    """
+
+    __slots__ = ("dst", "func", "args")
+
+    def __init__(self, dst: Optional[str], func: str, args: Sequence[str]):
+        self.dst = dst
+        self.func = func
+        self.args = tuple(args)
+
+    def registers_read(self):
+        return self.args
+
+    def register_written(self):
+        return self.dst
+
+    def __repr__(self):
+        args = ", ".join(self.args)
+        lhs = f"{self.dst} = " if self.dst else ""
+        return f"{lhs}call {self.func}({args})"
+
+
+class Jump(Instr):
+    """Unconditional terminator: ``goto target``."""
+
+    __slots__ = ("target",)
+    is_terminator = True
+
+    def __init__(self, target: str):
+        self.target = target
+
+    def __repr__(self):
+        return f"jump {self.target}"
+
+
+class Branch(Instr):
+    """Conditional terminator: ``if cond goto then_target else else_target``."""
+
+    __slots__ = ("cond", "then_target", "else_target")
+    is_terminator = True
+
+    def __init__(self, cond: str, then_target: str, else_target: str):
+        if then_target == else_target:
+            raise ValueError(
+                "branch with identical targets; use Jump instead")
+        self.cond = cond
+        self.then_target = then_target
+        self.else_target = else_target
+
+    def registers_read(self):
+        return (self.cond,)
+
+    def __repr__(self):
+        return f"branch {self.cond} ? {self.then_target} : {self.else_target}"
+
+
+class Ret(Instr):
+    """Return terminator; ``src`` is None for void returns."""
+
+    __slots__ = ("src",)
+    is_terminator = True
+
+    def __init__(self, src: Optional[str] = None):
+        self.src = src
+
+    def registers_read(self):
+        return (self.src,) if self.src is not None else ()
+
+    def __repr__(self):
+        return f"ret {self.src}" if self.src else "ret"

@@ -1,0 +1,11 @@
+"""MiniC front end: lexer, parser, AST, and lowering to IR."""
+
+from .errors import LexError, LowerError, MiniCError, ParseError
+from .lexer import Token, tokenize
+from .parser import parse
+from .lower import compile_source, lower_program
+
+__all__ = [
+    "LexError", "LowerError", "MiniCError", "ParseError",
+    "Token", "tokenize", "parse", "compile_source", "lower_program",
+]

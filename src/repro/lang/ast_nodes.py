@@ -1,0 +1,174 @@
+"""Abstract syntax tree for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .errors import SourceLocation
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+@dataclass
+class Number:
+    value: Union[int, float]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class Name:
+    """A scalar variable reference (local or global, resolved at lowering)."""
+    ident: str
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class Index:
+    """``array[index]`` read."""
+    array: str
+    index: "Expr"
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class UnaryOp:
+    op: str  # '-' or '!'
+    operand: "Expr"
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class BinaryOp:
+    op: str
+    left: "Expr"
+    right: "Expr"
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class LogicalOp:
+    """Short-circuit ``&&`` / ``||`` -- lowered to control flow."""
+    op: str  # '&&' or '||'
+    left: "Expr"
+    right: "Expr"
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class CallExpr:
+    func: str
+    args: list["Expr"]
+    location: Optional[SourceLocation] = None
+
+
+Expr = Union[Number, Name, Index, UnaryOp, BinaryOp, LogicalOp, CallExpr]
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+@dataclass
+class Assign:
+    target: str
+    value: Expr
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class StoreStmt:
+    """``array[index] = value``."""
+    array: str
+    index: Expr
+    value: Expr
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class ExprStmt:
+    """An expression evaluated for effect (typically a call)."""
+    expr: Expr
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class VarArray:
+    """``var name[size];`` -- a local array declaration."""
+    name: str
+    size: int
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class If:
+    cond: Expr
+    then_body: list["Stmt"]
+    else_body: list["Stmt"] = field(default_factory=list)
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: list["Stmt"]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class For:
+    """``for (init; cond; step) body`` with optional components."""
+    init: Optional["Stmt"]
+    cond: Optional[Expr]
+    step: Optional["Stmt"]
+    body: list["Stmt"]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class Break:
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class Continue:
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class Return:
+    value: Optional[Expr] = None
+    location: Optional[SourceLocation] = None
+
+
+Stmt = Union[Assign, StoreStmt, ExprStmt, VarArray, If, While, For,
+             Break, Continue, Return]
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+
+@dataclass
+class FuncDecl:
+    name: str
+    params: list[str]
+    body: list[Stmt]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class GlobalDecl:
+    """``global name;``, ``global name = 3;`` or ``global name[64];``."""
+    name: str
+    array_size: Optional[int] = None
+    initial: Union[int, float] = 0
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class Program:
+    functions: list[FuncDecl]
+    globals: list[GlobalDecl]

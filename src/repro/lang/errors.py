@@ -1,0 +1,38 @@
+"""Diagnostics for the MiniC front end."""
+
+from __future__ import annotations
+
+
+class SourceLocation:
+    """A (line, column) position in a MiniC source file."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int):
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+class MiniCError(Exception):
+    """Base class for MiniC front-end errors; carries a source location."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class LexError(MiniCError):
+    """Invalid character or malformed token."""
+
+
+class ParseError(MiniCError):
+    """Syntax error."""
+
+
+class LowerError(MiniCError):
+    """Semantic error detected while lowering the AST to IR."""

@@ -1,0 +1,120 @@
+"""Tokenizer for MiniC, the small imperative language used by the workloads.
+
+MiniC is deliberately C-like: functions, ints/floats, local and global
+arrays, ``if``/``while``/``for``, short-circuit ``&&``/``||``.  The language
+exists to generate realistic control-flow graphs for the path profilers; it
+has no pointers, structs, or strings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .errors import LexError, SourceLocation
+
+KEYWORDS = frozenset({
+    "func", "var", "global", "if", "else", "while", "for",
+    "break", "continue", "return",
+})
+
+# Longest-match first for the multi-character operators.
+_TWO_CHAR = ("&&", "||", "<=", ">=", "==", "!=", "<<", ">>")
+_ONE_CHAR = "+-*/%<>=!&|^~(){}[];,"
+
+
+class Token:
+    """A lexical token: kind, text, and source location.
+
+    Kinds: ``ident``, ``keyword``, ``int``, ``float``, ``op``, ``eof``.
+    """
+
+    __slots__ = ("kind", "text", "location")
+
+    def __init__(self, kind: str, text: str, location: SourceLocation):
+        self.kind = kind
+        self.text = text
+        self.location = location
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.location})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MiniC source text; raises :class:`LexError` on bad input."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    line, col = 1, 1
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        loc = SourceLocation(line, col)
+        # Whitespace and newlines.
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # Comments: // to end of line, /* ... */ (non-nesting).
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", loc)
+            segment = source[i:end + 2]
+            newlines = segment.count("\n")
+            if newlines:
+                line += newlines
+                col = len(segment) - segment.rfind("\n")
+            else:
+                col += len(segment)
+            i = end + 2
+            continue
+        # Numbers: ints and simple floats (digits '.' digits).
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == "." and j + 1 < n and source[j + 1].isdigit():
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+                yield Token("float", source[i:j], loc)
+            else:
+                yield Token("int", source[i:j], loc)
+            col += j - i
+            i = j
+            continue
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            yield Token(kind, text, loc)
+            col += j - i
+            i = j
+            continue
+        # Operators and punctuation.
+        pair = source[i:i + 2]
+        if pair in _TWO_CHAR:
+            yield Token("op", pair, loc)
+            i += 2
+            col += 2
+            continue
+        if ch in _ONE_CHAR:
+            yield Token("op", ch, loc)
+            i += 1
+            col += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", loc)
+    yield Token("eof", "", SourceLocation(line, col))

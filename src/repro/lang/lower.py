@@ -1,0 +1,337 @@
+"""AST -> IR lowering for MiniC.
+
+Every function is lowered to a single-entry, single-exit CFG: ``return e``
+writes the dedicated ``__ret`` register and jumps to the one exit block, as
+the Ball-Larus algorithms require.  Short-circuit ``&&``/``||`` lower to
+explicit control flow, which is one of the things that makes MiniC programs
+produce realistically branchy paths.
+
+Scoping rules (deliberately simple):
+
+* function parameters and any name assigned in a function are local
+  registers;
+* a name declared ``global`` at module level is global in *every* function
+  (globals are not shadowed);
+* arrays resolve local-first, then global.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.builder import IRBuilder
+from ..ir.function import Function, Module
+from . import ast_nodes as ast
+from .errors import LowerError
+from .parser import parse
+
+
+class _LoopContext:
+    """Break/continue targets for the innermost enclosing loop."""
+
+    __slots__ = ("continue_target", "break_target")
+
+    def __init__(self, continue_target: str, break_target: str):
+        self.continue_target = continue_target
+        self.break_target = break_target
+
+
+class _FunctionLowerer:
+    def __init__(self, decl: ast.FuncDecl, module: Module):
+        self.decl = decl
+        self.module = module
+        self.builder = IRBuilder(decl.name, decl.params)
+        self.exit_block: str = ""
+        self.loops: list[_LoopContext] = []
+        self._temp_counter = 0
+        self._const_cache: dict = {}
+
+    # ------------------------------------------------------------------
+
+    def temp(self) -> str:
+        self._temp_counter += 1
+        return f"%t{self._temp_counter}"
+
+    def const_reg(self, value) -> str:
+        """Materialise a constant into a fresh register in the current block."""
+        reg = self.temp()
+        self.builder.const(reg, value)
+        return reg
+
+    def is_global_scalar(self, name: str) -> bool:
+        return (name in self.module.global_scalars
+                and name not in self.decl.params)
+
+    # ------------------------------------------------------------------
+
+    def lower(self) -> Function:
+        b = self.builder
+        b.block("entry")
+        self.exit_block = "exit"
+        b.function.add_block("exit")
+        self._lower_body(self.decl.body)
+        if not b.is_terminated():
+            # Fall off the end: implicit `return 0`.
+            b.const("__ret", 0)
+            b.jump(self.exit_block)
+        b.switch_to(self.exit_block)
+        b.ret("__ret")
+        self._prune_unreachable()
+        return b.finish("entry")
+
+    def _prune_unreachable(self) -> None:
+        """Drop blocks not reachable from the entry, pre-seal.
+
+        Lowering can produce dead blocks (e.g. the merge of an ``if`` whose
+        arms both return); sealing with them present would trip the
+        validator, so remove them by following terminator targets.
+        """
+        from ..ir.instructions import Branch, Jump
+        cfg = self.builder.function.cfg
+        seen: set[str] = set()
+        stack = ["entry"]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            instrs = cfg.blocks[name].instructions
+            if not instrs:
+                continue
+            term = instrs[-1]
+            if isinstance(term, Jump):
+                stack.append(term.target)
+            elif isinstance(term, Branch):
+                stack.append(term.then_target)
+                stack.append(term.else_target)
+        for name in list(cfg.blocks):
+            if name not in seen:
+                del cfg.blocks[name]
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _lower_body(self, stmts: list[ast.Stmt]) -> None:
+        """Lower statements until the block terminates (dead code is skipped)."""
+        for stmt in stmts:
+            if self.builder.is_terminated():
+                return  # everything after break/continue/return is dead
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        b = self.builder
+        if isinstance(stmt, ast.VarArray):
+            b.local_array(stmt.name, stmt.size)
+        elif isinstance(stmt, ast.Assign):
+            value = self._lower_expr(stmt.value)
+            if self.is_global_scalar(stmt.target):
+                b.gstore(stmt.target, value)
+            else:
+                b.mov(stmt.target, value)
+        elif isinstance(stmt, ast.StoreStmt):
+            array = self._resolve_array(stmt.array, stmt.location)
+            idx = self._lower_expr(stmt.index)
+            value = self._lower_expr(stmt.value)
+            b.store(array, idx, value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._lower_expr(stmt.expr, for_effect=True)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.loops:
+                raise LowerError("break outside a loop", stmt.location)
+            b.jump(self.loops[-1].break_target)
+        elif isinstance(stmt, ast.Continue):
+            if not self.loops:
+                raise LowerError("continue outside a loop", stmt.location)
+            b.jump(self.loops[-1].continue_target)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self._lower_expr(stmt.value)
+                b.mov("__ret", value)
+            else:
+                b.const("__ret", 0)
+            b.jump(self.exit_block)
+        else:  # pragma: no cover - exhaustive over Stmt
+            raise LowerError(f"unknown statement {stmt!r}")
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        b = self.builder
+        cond = self._lower_expr(stmt.cond)
+        then_block = b.new_block("then")
+        else_block = b.new_block("else") if stmt.else_body else None
+        merge_block: Optional[str] = None
+
+        def merge() -> str:
+            nonlocal merge_block
+            if merge_block is None:
+                merge_block = b.new_block("endif")
+            return merge_block
+
+        b.branch(cond, then_block,
+                 else_block if else_block is not None else merge())
+        b.switch_to(then_block)
+        self._lower_body(stmt.then_body)
+        then_flows = not b.is_terminated()
+        if then_flows:
+            b.jump(merge())
+        if else_block is not None:
+            b.switch_to(else_block)
+            self._lower_body(stmt.else_body)
+            if not b.is_terminated():
+                b.jump(merge())
+        if merge_block is not None:
+            b.switch_to(merge_block)
+        # else: both arms terminated and no merge was needed; the caller's
+        # _lower_body sees a terminated block and stops.
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        b = self.builder
+        head = b.new_block("while")
+        body = b.new_block("body")
+        after = b.new_block("endwhile")
+        b.jump(head)
+        b.switch_to(head)
+        cond = self._lower_expr(stmt.cond)
+        b.branch(cond, body, after)
+        b.switch_to(body)
+        self.loops.append(_LoopContext(head, after))
+        self._lower_body(stmt.body)
+        self.loops.pop()
+        if not b.is_terminated():
+            b.jump(head)
+        b.switch_to(after)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        b = self.builder
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        head = b.new_block("for")
+        body = b.new_block("body")
+        step = b.new_block("step")
+        after = b.new_block("endfor")
+        b.jump(head)
+        b.switch_to(head)
+        if stmt.cond is not None:
+            cond = self._lower_expr(stmt.cond)
+        else:
+            cond = self.const_reg(1)
+        b.branch(cond, body, after)
+        b.switch_to(body)
+        self.loops.append(_LoopContext(step, after))
+        self._lower_body(stmt.body)
+        self.loops.pop()
+        if not b.is_terminated():
+            b.jump(step)
+        b.switch_to(step)
+        if stmt.step is not None:
+            self._lower_stmt(stmt.step)
+        b.jump(head)
+        b.switch_to(after)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _lower_expr(self, expr: ast.Expr, for_effect: bool = False) -> str:
+        b = self.builder
+        if isinstance(expr, ast.Number):
+            return self.const_reg(expr.value)
+        if isinstance(expr, ast.Name):
+            if self.is_global_scalar(expr.ident):
+                dst = self.temp()
+                b.gload(dst, expr.ident)
+                return dst
+            return expr.ident
+        if isinstance(expr, ast.Index):
+            array = self._resolve_array(expr.array, expr.location)
+            idx = self._lower_expr(expr.index)
+            dst = self.temp()
+            b.load(dst, array, idx)
+            return dst
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._lower_expr(expr.operand)
+            dst = self.temp()
+            b.unop(expr.op, dst, operand)
+            return dst
+        if isinstance(expr, ast.BinaryOp):
+            left = self._lower_expr(expr.left)
+            right = self._lower_expr(expr.right)
+            dst = self.temp()
+            b.binop(expr.op, dst, left, right)
+            return dst
+        if isinstance(expr, ast.LogicalOp):
+            return self._lower_logical(expr)
+        if isinstance(expr, ast.CallExpr):
+            if expr.func not in self.module.functions \
+                    and expr.func != self.decl.name:
+                # Forward references are fine; full checking happens in the
+                # module validator.  Only calls to obvious typos (names never
+                # declared anywhere) get caught there.
+                pass
+            args = [self._lower_expr(a) for a in expr.args]
+            dst = None if for_effect else self.temp()
+            b.call(dst, expr.func, args)
+            return dst if dst is not None else self.const_reg(0)
+        raise LowerError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _lower_logical(self, expr: ast.LogicalOp) -> str:
+        """Short-circuit lowering: produces 0/1 in a temp via branches."""
+        b = self.builder
+        result = self.temp()
+        right_block = b.new_block("sc")
+        done = b.new_block("scend")
+        left = self._lower_expr(expr.left)
+        if expr.op == "&&":
+            # left false -> result 0, skip right.
+            b.const(result, 0)
+            b.branch(left, right_block, done)
+        else:  # "||"
+            # left true -> result 1, skip right.
+            b.const(result, 1)
+            b.branch(left, done, right_block)
+        b.switch_to(right_block)
+        right = self._lower_expr(expr.right)
+        zero = self.const_reg(0)
+        b.binop("!=", result, right, zero)
+        b.jump(done)
+        b.switch_to(done)
+        return result
+
+    def _resolve_array(self, name: str, location) -> str:
+        func = self.builder.function
+        if name in func.arrays or name in self.module.global_arrays:
+            return name
+        raise LowerError(f"unknown array {name!r}", location)
+
+
+def lower_program(program: ast.Program, name: str = "module") -> Module:
+    """Lower a parsed MiniC program to an IR module."""
+    module = Module(name)
+    for decl in program.globals:
+        if decl.array_size is not None:
+            module.add_global_array(decl.name, decl.array_size)
+        else:
+            module.add_global_scalar(decl.name, decl.initial)
+    # Two passes so forward calls resolve: declare names, then lower bodies.
+    for fdecl in program.functions:
+        if fdecl.name in module.functions:
+            raise LowerError(f"duplicate function {fdecl.name!r}",
+                             fdecl.location)
+        module.functions[fdecl.name] = None  # type: ignore[assignment]
+    for fdecl in program.functions:
+        module.functions[fdecl.name] = _FunctionLowerer(fdecl, module).lower()
+    return module
+
+
+def compile_source(source: str, name: str = "module") -> Module:
+    """Parse and lower MiniC source text to a validated IR module."""
+    from ..ir.validate import check_module
+    module = lower_program(parse(source), name)
+    check_module(module)
+    return module

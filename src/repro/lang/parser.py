@@ -1,0 +1,316 @@
+"""Recursive-descent parser for MiniC.
+
+Operator precedence, loosest to tightest::
+
+    ||  &&  (comparisons)  + -  * / %  << >> & | ^  unary- !
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast_nodes as ast
+from .errors import ParseError
+from .lexer import Token, tokenize
+
+# Comparison operators are non-associative; the rest are left-associative.
+_CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+_ADD_OPS = ("+", "-")
+_MUL_OPS = ("*", "/", "%")
+_BIT_OPS = ("<<", ">>", "&", "|", "^")
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if not self.at(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(
+                f"expected {want!r}, found {tok.text or tok.kind!r}",
+                tok.location)
+        return self.advance()
+
+    # -- grammar --------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        functions: list[ast.FuncDecl] = []
+        globals_: list[ast.GlobalDecl] = []
+        while not self.at("eof"):
+            if self.at("keyword", "func"):
+                functions.append(self.parse_func())
+            elif self.at("keyword", "global"):
+                globals_.append(self.parse_global())
+            else:
+                tok = self.peek()
+                raise ParseError(
+                    f"expected 'func' or 'global', found {tok.text!r}",
+                    tok.location)
+        return ast.Program(functions, globals_)
+
+    def parse_global(self) -> ast.GlobalDecl:
+        loc = self.expect("keyword", "global").location
+        name = self.expect("ident").text
+        size: Optional[int] = None
+        initial: float = 0
+        if self.accept("op", "["):
+            size_tok = self.expect("int")
+            size = int(size_tok.text)
+            self.expect("op", "]")
+        elif self.accept("op", "="):
+            initial = self._parse_signed_number()
+        self.expect("op", ";")
+        return ast.GlobalDecl(name, size, initial, loc)
+
+    def _parse_signed_number(self):
+        negative = bool(self.accept("op", "-"))
+        tok = self.peek()
+        if tok.kind == "int":
+            self.advance()
+            value: float = int(tok.text)
+        elif tok.kind == "float":
+            self.advance()
+            value = float(tok.text)
+        else:
+            raise ParseError("expected a numeric literal", tok.location)
+        return -value if negative else value
+
+    def parse_func(self) -> ast.FuncDecl:
+        loc = self.expect("keyword", "func").location
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params: list[str] = []
+        if not self.at("op", ")"):
+            params.append(self.expect("ident").text)
+            while self.accept("op", ","):
+                params.append(self.expect("ident").text)
+        self.expect("op", ")")
+        body = self.parse_block()
+        return ast.FuncDecl(name, params, body, loc)
+
+    def parse_block(self) -> list[ast.Stmt]:
+        self.expect("op", "{")
+        stmts: list[ast.Stmt] = []
+        while not self.at("op", "}"):
+            stmts.append(self.parse_stmt())
+        self.expect("op", "}")
+        return stmts
+
+    def parse_stmt(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.kind == "keyword":
+            if tok.text == "var":
+                return self.parse_var_array()
+            if tok.text == "if":
+                return self.parse_if()
+            if tok.text == "while":
+                return self.parse_while()
+            if tok.text == "for":
+                return self.parse_for()
+            if tok.text == "break":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Break(tok.location)
+            if tok.text == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Continue(tok.location)
+            if tok.text == "return":
+                self.advance()
+                value = None if self.at("op", ";") else self.parse_expr()
+                self.expect("op", ";")
+                return ast.Return(value, tok.location)
+            raise ParseError(f"unexpected keyword {tok.text!r}", tok.location)
+        stmt = self.parse_simple_stmt()
+        self.expect("op", ";")
+        return stmt
+
+    def parse_var_array(self) -> ast.VarArray:
+        loc = self.expect("keyword", "var").location
+        name = self.expect("ident").text
+        self.expect("op", "[")
+        size = int(self.expect("int").text)
+        self.expect("op", "]")
+        self.expect("op", ";")
+        return ast.VarArray(name, size, loc)
+
+    def parse_if(self) -> ast.If:
+        loc = self.expect("keyword", "if").location
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then_body = self.parse_block()
+        else_body: list[ast.Stmt] = []
+        if self.accept("keyword", "else"):
+            if self.at("keyword", "if"):
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return ast.If(cond, then_body, else_body, loc)
+
+    def parse_while(self) -> ast.While:
+        loc = self.expect("keyword", "while").location
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_block()
+        return ast.While(cond, body, loc)
+
+    def parse_for(self) -> ast.For:
+        loc = self.expect("keyword", "for").location
+        self.expect("op", "(")
+        init = None if self.at("op", ";") else self.parse_simple_stmt()
+        self.expect("op", ";")
+        cond = None if self.at("op", ";") else self.parse_expr()
+        self.expect("op", ";")
+        step = None if self.at("op", ")") else self.parse_simple_stmt()
+        self.expect("op", ")")
+        body = self.parse_block()
+        return ast.For(init, cond, step, body, loc)
+
+    def parse_simple_stmt(self) -> ast.Stmt:
+        """Assignment, array store, or bare expression (for the semicolon-
+        terminated statement forms and for-loop init/step clauses)."""
+        tok = self.peek()
+        if tok.kind == "ident":
+            nxt = self.tokens[self.pos + 1] if self.pos + 1 < len(self.tokens) \
+                else tok
+            if nxt.kind == "op" and nxt.text == "=":
+                self.advance()
+                self.advance()
+                value = self.parse_expr()
+                return ast.Assign(tok.text, value, tok.location)
+            if nxt.kind == "op" and nxt.text == "[":
+                # Could be a store (a[i] = e) or an indexed read expression.
+                save = self.pos
+                self.advance()
+                self.advance()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                if self.accept("op", "="):
+                    value = self.parse_expr()
+                    return ast.StoreStmt(tok.text, index, value, tok.location)
+                self.pos = save  # plain expression after all; reparse
+        expr = self.parse_expr()
+        return ast.ExprStmt(expr, tok.location)
+
+    # -- expressions ----------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.at("op", "||"):
+            loc = self.advance().location
+            right = self.parse_and()
+            left = ast.LogicalOp("||", left, right, loc)
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_cmp()
+        while self.at("op", "&&"):
+            loc = self.advance().location
+            right = self.parse_cmp()
+            left = ast.LogicalOp("&&", left, right, loc)
+        return left
+
+    def parse_cmp(self) -> ast.Expr:
+        left = self.parse_add()
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in _CMP_OPS:
+            self.advance()
+            right = self.parse_add()
+            return ast.BinaryOp(tok.text, left, right, tok.location)
+        return left
+
+    def parse_add(self) -> ast.Expr:
+        left = self.parse_mul()
+        while self.peek().kind == "op" and self.peek().text in _ADD_OPS:
+            tok = self.advance()
+            right = self.parse_mul()
+            left = ast.BinaryOp(tok.text, left, right, tok.location)
+        return left
+
+    def parse_mul(self) -> ast.Expr:
+        left = self.parse_bits()
+        while self.peek().kind == "op" and self.peek().text in _MUL_OPS:
+            tok = self.advance()
+            right = self.parse_bits()
+            left = ast.BinaryOp(tok.text, left, right, tok.location)
+        return left
+
+    def parse_bits(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.peek().kind == "op" and self.peek().text in _BIT_OPS:
+            tok = self.advance()
+            right = self.parse_unary()
+            left = ast.BinaryOp(tok.text, left, right, tok.location)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "!"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.UnaryOp(tok.text, operand, tok.location)
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.advance()
+            return ast.Number(int(tok.text), tok.location)
+        if tok.kind == "float":
+            self.advance()
+            return ast.Number(float(tok.text), tok.location)
+        if tok.kind == "op" and tok.text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        if tok.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args: list[ast.Expr] = []
+                if not self.at("op", ")"):
+                    args.append(self.parse_expr())
+                    while self.accept("op", ","):
+                        args.append(self.parse_expr())
+                self.expect("op", ")")
+                return ast.CallExpr(tok.text, args, tok.location)
+            if self.accept("op", "["):
+                index = self.parse_expr()
+                self.expect("op", "]")
+                return ast.Index(tok.text, index, tok.location)
+            return ast.Name(tok.text, tok.location)
+        raise ParseError(f"unexpected token {tok.text or tok.kind!r}",
+                         tok.location)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniC source text into a :class:`~repro.lang.ast_nodes.Program`."""
+    return Parser(tokenize(source)).parse_program()

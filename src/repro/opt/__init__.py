@@ -1,0 +1,27 @@
+"""Profile-guided inlining and unrolling (the paper's Section 7.3 setup)."""
+
+from .cleanup import CleanupStats, cleanup_function, cleanup_module
+from .liveness import Liveness, block_use_def
+from .inline import (CODE_BLOAT, MAX_CALLEE_SIZE, InlineStats, inline_module)
+from .unroll import (MAX_UNROLLED_SIZE, MIN_TRIP_COUNT, UNROLL_FACTOR,
+                     UnrollStats, unroll_module)
+from .pipeline import (OptimizationResult, collect_edge_profile,
+                       expand_module)
+from .rebuild import block_map, prune_unreachable, rebuild_function
+from .superblock import (SuperblockStats, form_superblocks,
+                         merge_crossings)
+from .ifconvert import IfConvertStats, if_convert_function, if_convert_module
+from .licm import LicmStats, licm_function, licm_module
+
+__all__ = [
+    "CleanupStats", "cleanup_function", "cleanup_module",
+    "Liveness", "block_use_def",
+    "CODE_BLOAT", "MAX_CALLEE_SIZE", "InlineStats", "inline_module",
+    "MAX_UNROLLED_SIZE", "MIN_TRIP_COUNT", "UNROLL_FACTOR", "UnrollStats",
+    "unroll_module",
+    "OptimizationResult", "collect_edge_profile", "expand_module",
+    "block_map", "prune_unreachable", "rebuild_function",
+    "SuperblockStats", "form_superblocks", "merge_crossings",
+    "IfConvertStats", "if_convert_function", "if_convert_module",
+    "LicmStats", "licm_function", "licm_module",
+]

@@ -1,0 +1,215 @@
+"""Loop-invariant code motion (LICM).
+
+The last of the "classic compiler optimizations" the paper attributes to
+Scale (Section 7.1): pure computations whose operands do not change
+inside a loop are hoisted to a *preheader* block inserted in front of the
+loop header, so they execute once per loop entry instead of once per
+iteration.
+
+Safety conditions (conservative, classic):
+
+* the instruction is pure (``Const``/``Mov``/``BinOp``/``UnOp``/
+  ``Select`` -- division by zero yields 0 in this IR, so speculation
+  cannot fault);
+* every operand is loop-invariant: defined outside the loop, or by an
+  already-hoisted instruction, and never (re)defined inside the loop;
+* the destination register has exactly one definition inside the loop
+  and is not also defined outside-and-read-inside in a way hoisting
+  could break (single-def inside + invariant operands implies the value
+  is the same on every iteration);
+* every in-loop reader of the destination executes after the definition
+  on every iteration (same block later, or strictly dominated) -- the
+  first iteration must never observe a stale pre-loop value;
+* the defining block dominates every loop exit edge's source (the
+  definition already ran whenever the loop exits), **or** the register is
+  never read outside the loop -- pure ops cannot fault in this IR, so
+  speculating them is otherwise free.
+
+Loops are processed innermost-first so invariants migrate outward
+through nested loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg.dominators import compute_dominators
+from ..cfg.loops import Loop, find_loops
+from ..ir.function import Function, Module
+from ..ir.instructions import (BinOp, Branch, Const, Instr, Jump, Mov,
+                               Select, UnOp)
+from .rebuild import block_map, rebuild_function
+
+_PURE = (Const, Mov, BinOp, UnOp, Select)
+
+
+@dataclass
+class LicmStats:
+    instructions_hoisted: int = 0
+    preheaders_created: int = 0
+    loops_processed: int = 0
+
+
+def _definitions_in(blocks: dict[str, list[Instr]],
+                    members: set[str]) -> dict[str, int]:
+    """How many times each register is written inside the loop."""
+    defs: dict[str, int] = {}
+    for name in members:
+        for instr in blocks.get(name, []):
+            written = instr.register_written()
+            if written is not None:
+                defs[written] = defs.get(written, 0) + 1
+    return defs
+
+
+def _hoist_from_loop(func: Function, blocks: dict[str, list[Instr]],
+                     loop: Loop, stats: LicmStats) -> bool:
+    """Hoist invariants of one loop; returns True when blocks changed.
+
+    Two phases: decide the hoist set over a frozen snapshot (so every
+    position check uses consistent coordinates), then mutate.
+    """
+    cfg = func.cfg
+    dom = compute_dominators(cfg)
+    exit_sources = {e.src for e in loop.exit_edges(cfg)}
+    members = sorted(b for b in loop.body if b in blocks)
+    hoistable_blocks = {b for b in members
+                        if all(dom.dominates(b, src)
+                               for src in exit_sources)}
+    defs_inside = _definitions_in(blocks, set(members))
+
+    Site = tuple[str, int]
+
+    def comes_before(a: Site, b: Site) -> bool:
+        """Site a executes before site b on every iteration (including
+        the first): same block and earlier, or strictly dominating."""
+        if a[0] == b[0]:
+            return a[1] < b[1]
+        return dom.strictly_dominates(a[0], b[0])
+
+    reads_of: dict[str, list[Site]] = {}
+    for name in members:
+        for i, instr in enumerate(blocks[name]):
+            for reg in instr.registers_read():
+                reads_of.setdefault(reg, []).append((name, i))
+    member_set = set(members)
+    reads_outside: set[str] = set()
+    for name, instrs in blocks.items():
+        if name in member_set:
+            continue
+        for instr in instrs:
+            reads_outside.update(instr.registers_read())
+
+    hoist_sites: dict[str, Site] = {}   # reg -> original definition site
+    chosen: list[tuple[Site, Instr]] = []  # in discovery (emission) order
+    chosen_set: set[Site] = set()
+    changed = True
+    while changed:
+        changed = False
+        for bname in members:
+            for i, instr in enumerate(blocks[bname]):
+                site = (bname, i)
+                if site in chosen_set:
+                    continue
+                written = instr.register_written()
+                if not isinstance(instr, _PURE) or written is None \
+                        or defs_inside.get(written, 0) != 1:
+                    continue
+                # Either the block was guaranteed to run before every
+                # exit, or (pure ops cannot fault here, so speculation is
+                # safe) nobody outside the loop observes the register.
+                if bname not in hoistable_blocks \
+                        and written in reads_outside:
+                    continue
+                # Operands: defined outside the loop, or by an
+                # already-chosen definition that executes before this
+                # point on every iteration (otherwise iteration 1 would
+                # have read a stale pre-loop value).
+                ok = True
+                for reg in instr.registers_read():
+                    if defs_inside.get(reg, 0) == 0:
+                        continue
+                    if reg in hoist_sites \
+                            and comes_before(hoist_sites[reg], site):
+                        continue
+                    ok = False
+                    break
+                if not ok:
+                    continue
+                # Every in-loop reader of the destination must execute
+                # after this definition; a reader running before it
+                # (iteration 1) expects the pre-loop value.
+                if any(not comes_before(site, read)
+                       for read in reads_of.get(written, [])):
+                    continue
+                chosen.append((site, instr))
+                chosen_set.add(site)
+                hoist_sites[written] = site
+                changed = True
+    if not chosen:
+        return False
+    hoisted = [instr for _site, instr in chosen]
+    for bname in members:
+        blocks[bname] = [instr for i, instr in enumerate(blocks[bname])
+                         if (bname, i) not in chosen_set]
+    stats.instructions_hoisted += len(hoisted)
+
+    # Build (or reuse) the preheader and retarget the entry edges.
+    preheader = f"{loop.header}@ph"
+    while preheader in blocks:
+        preheader += "_"
+    blocks[preheader] = hoisted + [Jump(loop.header)]
+    stats.preheaders_created += 1
+    entry_preds = {e.src for e in loop.entry_edges(cfg)}
+    for pred in entry_preds:
+        if pred not in blocks:
+            continue
+        instrs = blocks[pred]
+        term = instrs[-1]
+        if isinstance(term, Jump) and term.target == loop.header:
+            instrs[-1] = Jump(preheader)
+        elif isinstance(term, Branch):
+            then_t = (preheader if term.then_target == loop.header
+                      else term.then_target)
+            else_t = (preheader if term.else_target == loop.header
+                      else term.else_target)
+            if then_t == else_t:
+                instrs[-1] = Jump(then_t)
+            else:
+                instrs[-1] = Branch(term.cond, then_t, else_t)
+    return True
+
+
+def licm_function(func: Function, stats: LicmStats) -> Function:
+    """Hoist loop invariants out of every loop, innermost first."""
+    blocks = block_map(func)
+    entry = func.cfg.entry
+    assert entry is not None
+    loops = sorted(find_loops(func.cfg), key=lambda lp: -lp.depth)
+    changed = False
+    current = func
+    for loop in loops:
+        stats.loops_processed += 1
+        if _hoist_from_loop(current, blocks, loop, stats):
+            changed = True
+            # Rebuild so dominators/loops reflect the new preheader
+            # before processing outer loops.
+            current = rebuild_function(func.name, list(func.params),
+                                       dict(func.arrays), blocks, entry)
+            blocks = block_map(current)
+    if not changed:
+        return func
+    return rebuild_function(func.name, list(func.params),
+                            dict(func.arrays), blocks, entry)
+
+
+def licm_module(module: Module) -> tuple[Module, LicmStats]:
+    """Run LICM over every function."""
+    stats = LicmStats()
+    out = Module(module.name)
+    out.main = module.main
+    out.global_scalars = dict(module.global_scalars)
+    out.global_arrays = dict(module.global_arrays)
+    for name, func in module.functions.items():
+        out.functions[name] = licm_function(func, stats)
+    return out, stats

@@ -1,0 +1,64 @@
+"""Backward liveness analysis for IR registers.
+
+Classic iterative dataflow over the CFG: ``live_out(b) = union of
+live_in(succ)``; ``live_in(b) = use(b) | (live_out(b) - def(b))``.
+Dead-code elimination (:mod:`repro.opt.cleanup`) uses the per-instruction
+liveness to drop writes nobody reads.
+"""
+
+from __future__ import annotations
+
+from ..cfg.traversal import postorder
+from ..ir.function import Function
+from ..ir.instructions import Instr
+
+
+def block_use_def(instrs: list[Instr]) -> tuple[set[str], set[str]]:
+    """(upward-exposed uses, defined registers) of one block."""
+    uses: set[str] = set()
+    defs: set[str] = set()
+    for instr in instrs:
+        for reg in instr.registers_read():
+            if reg not in defs:
+                uses.add(reg)
+        written = instr.register_written()
+        if written is not None:
+            defs.add(written)
+    return uses, defs
+
+
+class Liveness:
+    """Per-block live-in/live-out sets for a sealed function."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.live_in: dict[str, set[str]] = {}
+        self.live_out: dict[str, set[str]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        cfg = self.func.cfg
+        use: dict[str, set[str]] = {}
+        defs: dict[str, set[str]] = {}
+        for name, block in cfg.blocks.items():
+            use[name], defs[name] = block_use_def(block.instructions)
+            self.live_in[name] = set()
+            self.live_out[name] = set()
+        # Postorder iteration converges fastest for backward problems.
+        order = postorder(cfg)
+        changed = True
+        while changed:
+            changed = False
+            for name in order:
+                out: set[str] = set()
+                for succ in cfg.succs(name):
+                    out |= self.live_in[succ]
+                new_in = use[name] | (out - defs[name])
+                if out != self.live_out[name] or new_in != self.live_in[name]:
+                    self.live_out[name] = out
+                    self.live_in[name] = new_in
+                    changed = True
+
+    def live_after(self, block: str) -> set[str]:
+        """Registers live when control leaves ``block``."""
+        return set(self.live_out[block])

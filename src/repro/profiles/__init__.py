@@ -1,0 +1,39 @@
+"""Profiles and flow math: edge/path profiles, flow metrics, definite and
+potential flow, hot-path reconstruction, accuracy and coverage."""
+
+from .flow import BRANCH, UNIT, Metric, path_branches, path_flow
+from .edge_profile import EdgeProfile, FunctionEdgeProfile
+from .path_profile import FunctionPathProfile, PathKey, PathProfile
+from .flowsets import (DagFrequencies, FlowSets, compute_flow_sets,
+                       dag_edge_is_branch)
+from .definite import (definite_flow_paths, definite_flow_sets,
+                       definite_flow_total)
+from .potential import potential_flow_paths, potential_flow_sets
+from .reconstruct import ReconstructedPath, reconstruct_hot_paths
+from .metrics import (HOT_THRESHOLD, HOT_THRESHOLD_STRICT, EstimatedFlows,
+                      FunctionCoverage, accuracy, actual_hot_paths, coverage,
+                      edge_profile_coverage, select_top)
+from .sampling import sample_edge_profile
+from .diff import PathDelta, ProfileDiff, diff_profiles, format_diff
+from .serialize import (edge_profile_from_dict, edge_profile_to_dict,
+                        load_edge_profile, load_path_profile,
+                        path_profile_from_dict, path_profile_to_dict,
+                        save_edge_profile, save_path_profile)
+
+__all__ = [
+    "BRANCH", "UNIT", "Metric", "path_branches", "path_flow",
+    "EdgeProfile", "FunctionEdgeProfile",
+    "FunctionPathProfile", "PathKey", "PathProfile",
+    "DagFrequencies", "FlowSets", "compute_flow_sets", "dag_edge_is_branch",
+    "definite_flow_paths", "definite_flow_sets", "definite_flow_total",
+    "potential_flow_paths", "potential_flow_sets",
+    "ReconstructedPath", "reconstruct_hot_paths",
+    "HOT_THRESHOLD", "HOT_THRESHOLD_STRICT", "EstimatedFlows",
+    "FunctionCoverage", "accuracy", "actual_hot_paths", "coverage",
+    "edge_profile_coverage", "select_top",
+    "edge_profile_from_dict", "edge_profile_to_dict", "load_edge_profile",
+    "load_path_profile", "path_profile_from_dict", "path_profile_to_dict",
+    "save_edge_profile", "save_path_profile",
+    "sample_edge_profile",
+    "PathDelta", "ProfileDiff", "diff_profiles", "format_diff",
+]

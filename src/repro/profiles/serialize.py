@@ -1,0 +1,123 @@
+"""Profile serialization: save and load edge/path profiles as JSON.
+
+A dynamic optimizer persists profiles across runs ("offline advice"); the
+staleness study (:mod:`repro.harness.staleness`) and the CLI use this to
+move profiles between processes.  Edge profiles are keyed by
+``(source block, destination block, ordinal)`` rather than raw edge uids,
+so a profile written for one compile of a module loads against another
+compile of the *same* module (uids are not stable across compiles, the
+CFG shape is).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO
+
+from ..ir.function import Module
+from .edge_profile import EdgeProfile, FunctionEdgeProfile
+from .path_profile import FunctionPathProfile, PathProfile
+
+FORMAT_VERSION = 1
+
+
+def _edge_key_table(func) -> dict[int, list]:
+    """uid -> [src, dst, ordinal] (ordinal disambiguates parallel edges)."""
+    seen: dict[tuple[str, str], int] = {}
+    table: dict[int, list] = {}
+    for edge in func.cfg.edges():
+        ordinal = seen.get((edge.src, edge.dst), 0)
+        seen[(edge.src, edge.dst)] = ordinal + 1
+        table[edge.uid] = [edge.src, edge.dst, ordinal]
+    return table
+
+
+def _edge_uid_table(func) -> dict[tuple[str, str, int], int]:
+    return {tuple(v): uid for uid, v in _edge_key_table(func).items()}
+
+
+# ----------------------------------------------------------------------
+# Edge profiles
+# ----------------------------------------------------------------------
+
+def edge_profile_to_dict(profile: EdgeProfile) -> dict:
+    out = {"version": FORMAT_VERSION, "kind": "edge-profile",
+           "module": profile.module.name, "functions": {}}
+    for name, fp in profile.functions.items():
+        table = _edge_key_table(fp.func)
+        out["functions"][name] = {
+            "invocations": fp.entry_count,
+            "edges": [[*table[uid], count]
+                      for uid, count in sorted(fp.edge_freq.items())],
+        }
+    return out
+
+
+def edge_profile_from_dict(data: dict, module: Module) -> EdgeProfile:
+    if data.get("kind") != "edge-profile":
+        raise ValueError("not a serialized edge profile")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    functions = {}
+    for name, func in module.functions.items():
+        entry = data["functions"].get(name, {"invocations": 0, "edges": []})
+        uids = _edge_uid_table(func)
+        freq: dict[int, int] = {}
+        for src, dst, ordinal, count in entry["edges"]:
+            key = (src, dst, ordinal)
+            if key not in uids:
+                raise ValueError(
+                    f"profile edge {src}->{dst} not in function {name!r}; "
+                    "was the module recompiled with different code?")
+            freq[uids[key]] = count
+        functions[name] = FunctionEdgeProfile(func, freq,
+                                              entry["invocations"])
+    return EdgeProfile(module, functions)
+
+
+def save_edge_profile(profile: EdgeProfile, fp: TextIO) -> None:
+    json.dump(edge_profile_to_dict(profile), fp, indent=1)
+
+
+def load_edge_profile(fp: TextIO, module: Module) -> EdgeProfile:
+    return edge_profile_from_dict(json.load(fp), module)
+
+
+# ----------------------------------------------------------------------
+# Path profiles
+# ----------------------------------------------------------------------
+
+def path_profile_to_dict(profile: PathProfile) -> dict:
+    out = {"version": FORMAT_VERSION, "kind": "path-profile",
+           "module": profile.module.name, "functions": {}}
+    for name, fp in profile.functions.items():
+        out["functions"][name] = [[list(path), count]
+                                  for path, count in sorted(fp.counts.items())]
+    return out
+
+
+def path_profile_from_dict(data: dict, module: Module) -> PathProfile:
+    if data.get("kind") != "path-profile":
+        raise ValueError("not a serialized path profile")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    functions = {}
+    for name, func in module.functions.items():
+        raw = data["functions"].get(name, [])
+        counts = {}
+        for blocks, count in raw:
+            for b in blocks:
+                if b not in func.cfg.blocks:
+                    raise ValueError(
+                        f"path block {b!r} not in function {name!r}")
+            counts[tuple(blocks)] = count
+        functions[name] = FunctionPathProfile(func, counts)
+    return PathProfile(module, functions)
+
+
+def save_path_profile(profile: PathProfile, fp: TextIO) -> None:
+    json.dump(path_profile_to_dict(profile), fp, indent=1)
+
+
+def load_path_profile(fp: TextIO, module: Module) -> PathProfile:
+    return path_profile_from_dict(json.load(fp), module)

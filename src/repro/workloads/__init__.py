@@ -1,0 +1,12 @@
+"""The synthetic SPEC2000-shaped workload suite and the random program
+generator used by the property tests."""
+
+from .suite import (BY_NAME, FP, INT, SUITE, Workload, fp_workloads,
+                    get_workload, int_workloads)
+from .generator import ProgramGenerator, random_module, random_source
+
+__all__ = [
+    "BY_NAME", "FP", "INT", "SUITE", "Workload", "fp_workloads",
+    "get_workload", "int_workloads",
+    "ProgramGenerator", "random_module", "random_source",
+]

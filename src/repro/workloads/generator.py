@@ -1,0 +1,168 @@
+"""Random MiniC program generator for property-based testing.
+
+Generates deterministic, always-terminating programs with rich control
+flow: nested ``if``/``for``, short-circuit conditions, helper calls over
+an acyclic call graph, and global-array state.  The property tests use it
+to check, across arbitrary programs, the reproduction's core invariants --
+above all that Ball-Larus instrumentation counters exactly reproduce the
+ground-truth path trace.
+
+All loops have constant bounds, so every generated program terminates, and
+all data comes from the module's own arithmetic, so behaviour is a pure
+function of the seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..ir.function import Module
+from ..lang import compile_source
+
+_BIN_OPS = ["+", "-", "*", "/", "%"]
+_CMP_OPS = ["<", "<=", ">", ">=", "==", "!="]
+
+
+class ProgramGenerator:
+    """Seeded generator; every seed yields one fixed program."""
+
+    def __init__(self, seed: int, max_depth: int = 3,
+                 num_functions: int = 3, loop_bound: int = 4):
+        self.rng = random.Random(seed)
+        self.max_depth = max_depth
+        self.num_functions = max(1, num_functions)
+        self.loop_bound = loop_bound
+        self._var_counter = 0
+
+    # -- expressions -----------------------------------------------------
+
+    def _expr(self, vars_: list[str], callees: list[str], depth: int) -> str:
+        r = self.rng.random()
+        if depth <= 0 or r < 0.35:
+            if vars_ and self.rng.random() < 0.7:
+                return self.rng.choice(vars_)
+            return str(self.rng.randint(0, 20))
+        if r < 0.72:
+            op = self.rng.choice(_BIN_OPS)
+            left = self._expr(vars_, callees, depth - 1)
+            right = self._expr(vars_, callees, depth - 1)
+            if op in ("/", "%"):
+                # Keep divisors nonzero and positive for determinism.
+                right = f"({right} % 7 + 1)"
+            return f"({left} {op} {right})"
+        if r < 0.80 and callees:
+            callee = self.rng.choice(callees)
+            arg = self._expr(vars_, callees, depth - 1)
+            return f"{callee}({arg})"
+        op = self.rng.choice(_CMP_OPS)
+        left = self._expr(vars_, callees, depth - 1)
+        right = self._expr(vars_, callees, depth - 1)
+        return f"({left} {op} {right})"
+
+    def _cond(self, vars_: list[str], callees: list[str]) -> str:
+        base = (f"({self._expr(vars_, callees, 1)} "
+                f"{self.rng.choice(_CMP_OPS)} {self._expr(vars_, callees, 1)})")
+        if self.rng.random() < 0.3:
+            other = (f"({self._expr(vars_, callees, 1)} "
+                     f"{self.rng.choice(_CMP_OPS)} "
+                     f"{self._expr(vars_, callees, 1)})")
+            joiner = self.rng.choice(["&&", "||"])
+            return f"{base} {joiner} {other}"
+        return base
+
+    # -- statements ------------------------------------------------------
+
+    def _fresh(self) -> str:
+        self._var_counter += 1
+        return f"v{self._var_counter}"
+
+    def _stmts(self, vars_: list[str], callees: list[str], depth: int,
+               indent: str, in_loop: bool) -> str:
+        lines: list[str] = []
+        for _ in range(self.rng.randint(1, 4)):
+            lines.append(self._stmt(vars_, callees, depth, indent, in_loop))
+        return "\n".join(lines)
+
+    def _stmt(self, vars_: list[str], callees: list[str], depth: int,
+              indent: str, in_loop: bool) -> str:
+        r = self.rng.random()
+        if depth <= 0 or r < 0.45:
+            target = (self.rng.choice(vars_) if vars_
+                      and self.rng.random() < 0.6 else self._fresh())
+            expr = self._expr(vars_, callees, 2)
+            if target not in vars_:
+                vars_.append(target)
+            return f"{indent}{target} = ({expr}) % 100003;"
+        if r < 0.65:
+            cond = self._cond(vars_, callees)
+            then = self._stmts(list(vars_), callees, depth - 1,
+                               indent + "    ", in_loop)
+            if self.rng.random() < 0.6:
+                els = self._stmts(list(vars_), callees, depth - 1,
+                                  indent + "    ", in_loop)
+                return (f"{indent}if ({cond}) {{\n{then}\n{indent}}} "
+                        f"else {{\n{els}\n{indent}}}")
+            return f"{indent}if ({cond}) {{\n{then}\n{indent}}}"
+        if r < 0.82:
+            ivar = self._fresh()
+            vars_.append(ivar)
+            bound = self.rng.randint(2, self.loop_bound)
+            body = self._stmts(list(vars_), callees, depth - 1,
+                               indent + "    ", True)
+            return (f"{indent}for ({ivar} = 0; {ivar} < {bound}; "
+                    f"{ivar} = {ivar} + 1) {{\n{body}\n{indent}}}")
+        if in_loop and self.rng.random() < 0.5:
+            cond = self._cond(vars_, callees)
+            kw = self.rng.choice(["break", "continue"])
+            return f"{indent}if ({cond}) {{ {kw}; }}"
+        acc = self.rng.choice(vars_) if vars_ else self._fresh()
+        if acc not in vars_:
+            vars_.append(acc)
+        return f"{indent}{acc} = ({acc} + 1) % 100003;"
+
+    # -- functions -------------------------------------------------------
+
+    def _function(self, name: str, callees: list[str],
+                  depth: int | None = None) -> str:
+        vars_ = ["x"]
+        body = self._stmts(vars_, callees,
+                           self.max_depth if depth is None else depth,
+                           "    ", False)
+        result = self.rng.choice(vars_)
+        return (f"func {name}(x) {{\n{body}\n"
+                f"    return ({result}) % 100003;\n}}")
+
+    def source(self) -> str:
+        """Generate the program's MiniC source text."""
+        names = [f"f{i}" for i in range(self.num_functions)]
+        funcs: list[str] = []
+        for i, name in enumerate(names):
+            callees = names[i + 1:]  # acyclic call graph
+            # Deeper callees get shallower bodies, bounding total work.
+            depth = max(1, self.max_depth - i)
+            funcs.append(self._function(name, callees, depth))
+        drive = self.rng.randint(2, 3)
+        main = (
+            "func main() {\n"
+            "    s = 0;\n"
+            f"    for (i = 0; i < {drive}; i = i + 1) {{\n"
+            f"        s = (s + f0(i * 3 + 1)) % 100003;\n"
+            "    }\n"
+            "    return s;\n"
+            "}"
+        )
+        return "\n".join(funcs + [main])
+
+    def module(self) -> Module:
+        """Generate and compile the program."""
+        return compile_source(self.source(), name=f"gen{id(self) & 0xffff}")
+
+
+def random_module(seed: int, **kwargs) -> Module:
+    """Compile the random program for ``seed``."""
+    return ProgramGenerator(seed, **kwargs).module()
+
+
+def random_source(seed: int, **kwargs) -> str:
+    """The MiniC source of the random program for ``seed``."""
+    return ProgramGenerator(seed, **kwargs).source()

@@ -1,0 +1,852 @@
+"""Synthetic SPEC2000-shaped workloads, written in MiniC.
+
+The paper evaluates on SPEC2000 C and Fortran benchmarks compiled by
+Scale.  Neither is available here, so each benchmark is replaced by a
+synthetic MiniC program engineered to reproduce the *path structure* the
+paper reports for it (Tables 1 and 2):
+
+* the integer benchmarks are branchy, have hundreds-to-thousands of
+  distinct paths, spread their flow over many warm paths, and several
+  contain routines with enough possible paths to force hash-table
+  counting (crafty/parser/vpr in the paper);
+* the floating-point benchmarks are loop-dominated with few distinct
+  paths, very high trip counts, and mostly *obvious* paths -- swim and
+  mgrid in particular end up with no PPP instrumentation at all;
+* vpr and mesa each contain a routine with so many paths that PPP's
+  self-adjusting criterion has to kick in.
+
+Every program is deterministic (a module-local LCG provides "random"
+data), takes no input, and returns a checksum so transformed versions can
+be verified behaviour-identical.  ``scale`` stretches the main driver
+loops; the default targets a few hundred thousand interpreted IR
+instructions per workload.
+"""
+
+from __future__ import annotations
+
+# A deterministic LCG all workloads share; callers must declare
+# `global seed;` before including it.
+LCG = """
+func rnd(m) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return (seed / 65536) % m;
+}
+"""
+
+
+def vpr_like(scale: int = 1) -> str:
+    """Placement annealing: grid cost evaluation with a very branchy
+    scoring routine (enough paths that SAC must self-adjust)."""
+    moves = 1200 * scale
+    return """
+global seed;
+global grid[256];
+global best;
+""" + LCG + """
+func score(x, y, temp) {
+    c = grid[x * 16 + y];
+    s = 0;
+    if (c > 96) { s = s + 4; } else { s = s - 1; }
+    if (x > 8) { s = s + c % 3; } else { s = s - c % 2; }
+    if (y > 8) { s = s + 2; } else { s = s + 1; }
+    if (c % 2 == 0) { s = s * 2; } else { s = s + 7; }
+    if (temp > 50) { s = s - 3; } else { s = s + 3; }
+    if (c % 5 == 0) { s = s + x; } else { s = s - y; }
+    if (x + y > 20) { s = s + 11; } else { s = s - 1; }
+    if (c % 7 == 1) { s = s + 1; } else { s = s - 1; }
+    if (s < 0) { s = -s; }
+    if (s > 1000) { s = s % 1000; }
+    if (c > x) { s = s + 2; } else { if (c > y) { s = s + 1; } }
+    if (s % 2 == 1) { s = s + 1; }
+    if (x % 4 == 0) { s = s + y % 4; }
+    return s;
+}
+func anneal(moves) {
+    total = 0;
+    temp = 100;
+    for (i = 0; i < moves; i = i + 1) {
+        x = rnd(16);
+        y = rnd(16);
+        grid[x * 16 + y] = rnd(24);
+        if (rnd(8) == 0) { grid[x * 16 + y] = grid[x * 16 + y] + rnd(104); }
+        d = score(x, y, temp);
+        if (d < best || rnd(100) < temp) {
+            best = d;
+            total = total + d;
+        } else {
+            total = total - 1;
+        }
+        if (i % 64 == 63 && temp > 2) { temp = temp - 1; }
+    }
+    return total;
+}
+func main() {
+    seed = 7;
+    best = 100000;
+    for (i = 0; i < 256; i = i + 1) {
+        grid[i] = rnd(24);
+        if (rnd(8) == 0) { grid[i] = grid[i] + rnd(104); }
+    }
+    return anneal(@N@);
+}
+""".replace("@N@", str(moves))
+
+
+def mcf_like(scale: int = 1) -> str:
+    """Network simplex: pointer-chasing over arc arrays, few distinct
+    paths with extreme hot-path concentration (98% of flow)."""
+    iters = 30 * scale
+    return """
+global seed;
+global head[512];
+global cost[512];
+global flow[512];
+""" + LCG + """
+func relax(arcs) {
+    improved = 0;
+    for (a = 0; a < arcs; a = a + 1) {
+        c = cost[a] - flow[a];
+        if (c < 0) {
+            flow[a] = flow[a] + c;
+            improved = improved + 1;
+        }
+    }
+    return improved;
+}
+func pivot(arcs) {
+    bestv = 0;
+    besta = 0;
+    for (a = 0; a < arcs; a = a + 1) {
+        v = cost[head[a]] - cost[a];
+        if (v > bestv) { bestv = v; besta = a; }
+    }
+    cost[besta] = cost[besta] - 1;
+    return besta;
+}
+func main() {
+    seed = 13;
+    for (i = 0; i < 512; i = i + 1) {
+        head[i] = rnd(512);
+        cost[i] = rnd(100) - 20;
+        flow[i] = rnd(40);
+    }
+    s = 0;
+    for (it = 0; it < @N@; it = it + 1) {
+        s = s + relax(512);
+        s = s + pivot(512);
+    }
+    return s;
+}
+""".replace("@N@", str(iters))
+
+
+def crafty_like(scale: int = 1) -> str:
+    """Chess evaluation: a long chain of independent feature tests gives
+    the routine > 4000 possible paths, forcing hash-table counting (and,
+    as in the paper, losing a little flow to hash conflicts)."""
+    nodes = 220 * scale
+    return """
+global seed;
+global board[128];
+""" + LCG + """
+func evaluate(p, depth) {
+    v = board[p];
+    s = 0;
+    if (v & 1) { s = s + 9; } else { s = s - 2; }
+    if (v & 2) { s = s + 5; } else { s = s + 1; }
+    if (v & 4) { s = s - 3; } else { s = s + 4; }
+    if (v & 8) { s = s + depth; } else { s = s - depth; }
+    if (v & 16) { s = s + 7; } else { s = s - 1; }
+    if (v & 32) { s = s * 2; } else { s = s + 3; }
+    if (v & 64) { s = s - 6; } else { s = s + 2; }
+    if (v % 3 == 0) { s = s + 13; } else { s = s - 4; }
+    if (v % 5 == 0) { s = s + 1; } else { s = s - 1; }
+    if (v % 7 == 0) { s = s + 8; } else { s = s + 5; }
+    if (p & 1) { s = s + 2; } else { s = s - 2; }
+    if (p & 2) { s = s - 5; } else { s = s + 5; }
+    if (p > 64) { s = s + v % 11; } else { s = s - v % 13; }
+    return s;
+}
+func search(depth, p) {
+    if (depth == 0) { return evaluate(p, depth); }
+    a = search(depth - 1, (p * 5 + 1) % 128);
+    b = search(depth - 1, (p * 7 + 3) % 128);
+    if (a > b) { return a; }
+    return b;
+}
+func main() {
+    seed = 99;
+    for (i = 0; i < 128; i = i + 1) {
+        board[i] = rnd(16);
+        if (rnd(10) == 0) { board[i] = board[i] + 16 * rnd(8); }
+    }
+    s = 0;
+    for (n = 0; n < @N@; n = n + 1) {
+        s = s + search(4, n % 128);
+        board[n % 128] = (board[n % 128] + s) % 16;
+        if (rnd(12) == 0) { board[n % 128] = board[n % 128] + 16 * rnd(8); }
+        if (board[n % 128] < 0) { board[n % 128] = -board[n % 128]; }
+    }
+    return s;
+}
+""".replace("@N@", str(nodes))
+
+
+def parser_like(scale: int = 1) -> str:
+    """Recursive-descent parsing over a token stream: recursion plus
+    token-kind dispatch gives many distinct warm paths."""
+    sentences = 12 * scale
+    return """
+global seed;
+global tokens[640];
+global pos;
+""" + LCG + """
+func peek() { return tokens[pos]; }
+func advance() { pos = pos + 1; return tokens[pos - 1]; }
+func parse_atom(depth) {
+    t = advance();
+    if (t == 0 && depth < 6) { return parse_expr(depth + 1); }
+    if (t == 1) { return 2; }
+    if (t == 2) { return 3; }
+    if (t == 3) { return 5; }
+    return 1;
+}
+func parse_term(depth) {
+    v = parse_atom(depth);
+    while (peek() == 4) {
+        advance();
+        v = v * parse_atom(depth);
+        v = v % 1000003;
+    }
+    return v;
+}
+func parse_expr(depth) {
+    v = parse_term(depth);
+    while (peek() == 5 || peek() == 6) {
+        op = advance();
+        w = parse_term(depth);
+        if (op == 5) { v = v + w; } else { v = v - w; }
+    }
+    return v;
+}
+func main() {
+    seed = 3;
+    s = 0;
+    for (n = 0; n < @N@; n = n + 1) {
+        for (i = 0; i < 639; i = i + 1) { tokens[i] = rnd(8); }
+        tokens[639] = 7;
+        pos = 0;
+        s = s + parse_expr(0);
+        while (pos < 600) { s = s + parse_expr(0); }
+    }
+    return s;
+}
+""".replace("@N@", str(sentences))
+
+
+def perlbmk_like(scale: int = 1) -> str:
+    """A bytecode-interpreter inner loop: opcode dispatch through an
+    if-else ladder, the classic many-warm-paths shape."""
+    steps = 1600 * scale
+    return """
+global seed;
+global prog[256];
+global stack[64];
+global sp;
+""" + LCG + """
+func step(pc, acc) {
+    op = prog[pc];
+    if (op == 0) { acc = acc + 1; }
+    else { if (op == 1) { acc = acc - 1; }
+    else { if (op == 2) { acc = acc * 2; }
+    else { if (op == 3) { acc = acc % 97; }
+    else { if (op == 4) { stack[sp % 64] = acc; sp = sp + 1; }
+    else { if (op == 5) { sp = sp - 1; acc = acc + stack[sp % 64]; }
+    else { if (op == 6) { acc = acc ^ 21; }
+    else { acc = acc + op; } } } } } } }
+    if (acc & 1) { acc = acc + 3; }
+    if (acc & 4) { acc = acc - 1; } else { acc = acc + 1; }
+    if (pc > 200) { acc = acc ^ 9; }
+    return acc;
+}
+func compile_pattern(x) {
+    // Regex-compilation flavour: 13 independent feature tests with
+    // graded probabilities (1/2 ... 1/14).  8192 possible paths and no
+    // locally-cold edges, so TPP must keep the hash table; PPP's
+    // self-adjusting global criterion prunes the thinnest arms until an
+    // array fits (the paper's Section 4.3 scenario).
+    h = (x * 2654435761) % 2147483648;
+    h = h / 65536;
+    s = 0;
+    if (h % 2 == 0) { s = s + 1; } else { s = s - 1; }
+    if (h % 3 == 0) { s = s + 2; } else { s = s - 2; }
+    if (h % 4 == 0) { s = s + 3; } else { s = s - 3; }
+    if (h % 5 == 0) { s = s + 4; } else { s = s - 4; }
+    if (h % 6 == 0) { s = s + 5; } else { s = s - 5; }
+    if (h % 7 == 0) { s = s + 6; } else { s = s - 6; }
+    if (h % 8 == 0) { s = s + 7; } else { s = s - 7; }
+    if (h % 9 == 0) { s = s + 8; } else { s = s - 8; }
+    if (h % 10 == 0) { s = s + 9; } else { s = s - 9; }
+    if (h % 11 == 0) { s = s + 10; } else { s = s - 10; }
+    if (h % 12 == 0) { s = s + 11; } else { s = s - 11; }
+    if (h % 13 == 0) { s = s + 12; } else { s = s - 12; }
+    if (h % 14 == 0) { s = s + 13; } else { s = s - 13; }
+    return s;
+}
+func run(n) {
+    acc = 0;
+    pc = 0;
+    for (i = 0; i < n; i = i + 1) {
+        acc = step(pc, acc);
+        pc = (pc + 1 + acc % 3) % 256;
+        if (i % 16 == 0) { acc = acc + compile_pattern(acc + i); }
+        if (acc > 100000) { acc = acc % 1000; }
+    }
+    return acc;
+}
+func main() {
+    seed = 21;
+    sp = 0;
+    for (i = 0; i < 256; i = i + 1) { prog[i] = rnd(9); }
+    s = 0;
+    for (r = 0; r < 4; r = r + 1) { s = s + run(@N@); }
+    return s;
+}
+""".replace("@N@", str(steps))
+
+
+def gap_like(scale: int = 1) -> str:
+    """Computer-algebra flavour: arbitrary-precision-ish digit loops with
+    branchy carries and a case split by operation."""
+    ops = 900 * scale
+    return """
+global seed;
+global a[64];
+global b[64];
+global out[64];
+""" + LCG + """
+func addvec() {
+    carry = 0;
+    for (i = 0; i < 64; i = i + 1) {
+        t = a[i] + b[i] + carry;
+        if (t >= 10000) { t = t - 10000; carry = 1; } else { carry = 0; }
+        if (t & 1) { t = t + 0; } else { if (i & 7) { t = t + 0; } }
+        out[i] = t;
+    }
+    return carry;
+}
+func mulsmall(k) {
+    carry = 0;
+    for (i = 0; i < 64; i = i + 1) {
+        t = a[i] * k + carry;
+        carry = t / 10000;
+        out[i] = t % 10000;
+    }
+    return carry;
+}
+func compare() {
+    for (i = 63; i >= 0; i = i - 1) {
+        if (a[i] > b[i]) { return 1; }
+        if (a[i] < b[i]) { return -1; }
+    }
+    return 0;
+}
+func main() {
+    seed = 17;
+    for (i = 0; i < 64; i = i + 1) { a[i] = rnd(10000); b[i] = rnd(10000); }
+    s = 0;
+    for (n = 0; n < @N@; n = n + 1) {
+        op = rnd(4);
+        if (op == 0) { s = s + addvec(); }
+        else { if (op == 1) { s = s + mulsmall(rnd(9) + 1); }
+        else { if (op == 2) { s = s + compare(); }
+        else { a[rnd(64)] = rnd(10000); } } }
+        s = s + out[n % 64];
+    }
+    return s;
+}
+""".replace("@N@", str(ops))
+
+
+def bzip2_like(scale: int = 1) -> str:
+    """Compression flavour: run-length scanning plus an insertion-sort
+    inner loop -- data-dependent branches inside hot loops."""
+    blocks = 12 * scale
+    return """
+global seed;
+global buf[512];
+global freq[64];
+""" + LCG + """
+func rle(n) {
+    runs = 0;
+    i = 0;
+    while (i < n) {
+        c = buf[i];
+        j = i + 1;
+        while (j < n && buf[j] == c) { j = j + 1; }
+        if (j - i > 3) { runs = runs + 1; }
+        freq[c % 64] = freq[c % 64] + (j - i);
+        i = j;
+    }
+    return runs;
+}
+func sort_range(lo, hi) {
+    for (i = lo + 1; i < hi; i = i + 1) {
+        v = buf[i];
+        j = i - 1;
+        while (j >= lo && buf[j] > v) {
+            buf[j + 1] = buf[j];
+            j = j - 1;
+        }
+        buf[j + 1] = v;
+    }
+    return hi - lo;
+}
+func main() {
+    seed = 29;
+    s = 0;
+    for (blk = 0; blk < @N@; blk = blk + 1) {
+        for (i = 0; i < 512; i = i + 1) { buf[i] = rnd(16); }
+        s = s + rle(512);
+        s = s + sort_range(0, 64);
+        s = s + freq[blk % 64];
+    }
+    return s;
+}
+""".replace("@N@", str(blocks))
+
+
+def twolf_like(scale: int = 1) -> str:
+    """Standard-cell placement flavour: move generation with accept/reject
+    and several overlapping penalty tests."""
+    moves = 1300 * scale
+    return """
+global seed;
+global cells[200];
+global wire[200];
+""" + LCG + """
+func penalty(c, pos) {
+    p = 0;
+    w = wire[c];
+    if (pos > 100) { p = p + pos - 100; } else { p = p + 100 - pos; }
+    if (w > 80) { p = p + w / 4; }
+    if (c % 8 == 0) { p = p + 3; } else { p = p - 1; }
+    if (pos % 10 == 0) { p = p - 5; }
+    if (w + pos > 220) { p = p + 9; } else { if (w + pos > 180) { p = p + 4; } }
+    return p;
+}
+func main() {
+    seed = 41;
+    for (i = 0; i < 200; i = i + 1) { cells[i] = rnd(200); wire[i] = rnd(90); }
+    cost = 0;
+    accepted = 0;
+    for (m = 0; m < @N@; m = m + 1) {
+        c = rnd(200);
+        np = rnd(200);
+        old = penalty(c, cells[c]);
+        new = penalty(c, np);
+        if (new < old || rnd(1000) < 60) {
+            cells[c] = np;
+            accepted = accepted + 1;
+            cost = cost + new - old;
+        } else {
+            cost = cost + 1;
+        }
+        if (m % 50 == 49) { wire[rnd(200)] = rnd(90); }
+    }
+    return cost + accepted;
+}
+""".replace("@N@", str(moves))
+
+
+def wupwise_like(scale: int = 1) -> str:
+    """Lattice-QCD flavour: dense small-matrix loops, high trip counts,
+    no inlinable calls (big callees, like the paper's 0% for wupwise)."""
+    sweeps = 2 * scale
+    return """
+global seed;
+global u[1024];
+global v[1024];
+global w[1024];
+""" + LCG + """
+func su3_mul(base) {
+    for (r = 0; r < 16; r = r + 1) {
+        acc = 0;
+        for (k = 0; k < 16; k = k + 1) {
+            acc = acc + u[base + r] * v[base + k];
+        }
+        w[base + r] = acc % 1000003;
+    }
+    acc2 = 0;
+    for (r = 0; r < 16; r = r + 1) { acc2 = acc2 + w[base + r]; }
+    for (r = 0; r < 16; r = r + 1) { w[base + r] = w[base + r] + acc2 % 7; }
+    for (r = 0; r < 16; r = r + 1) { u[base + r] = (u[base + r] + w[base + r]) % 1000003; }
+    return acc2;
+}
+func main() {
+    seed = 5;
+    for (i = 0; i < 1024; i = i + 1) { u[i] = rnd(1000); v[i] = rnd(1000); }
+    s = 0;
+    for (sw = 0; sw < @N@; sw = sw + 1) {
+        for (site = 0; site < 64; site = site + 1) {
+            s = (s + su3_mul(site * 16)) % 1000003;
+        }
+    }
+    return s;
+}
+""".replace("@N@", str(sweeps))
+
+
+def swim_like(scale: int = 1) -> str:
+    """Shallow-water stencil: straight-line inner loops, almost no
+    branching (avg branches/path ~= 1) -- all paths obvious, so PPP adds
+    no instrumentation (the paper's Section 6.1 exception case)."""
+    steps = 8 * scale
+    return """
+global seed;
+global p[1089];
+global un[1089];
+""" + LCG + """
+func main() {
+    seed = 11;
+    for (i = 0; i < 1089; i = i + 1) { p[i] = rnd(500); }
+    s = 0;
+    for (t = 0; t < @N@; t = t + 1) {
+        for (i = 33; i < 1056; i = i + 1) {
+            un[i] = (p[i - 1] + p[i + 1] + p[i - 33] + p[i + 33]) / 4;
+        }
+        for (i = 33; i < 1056; i = i + 1) {
+            p[i] = (p[i] + un[i]) / 2;
+        }
+        s = (s + p[t * 37 % 1089]) % 1000003;
+    }
+    return s;
+}
+""".replace("@N@", str(steps))
+
+
+def mgrid_like(scale: int = 1) -> str:
+    """Multigrid relaxation: nested stencil sweeps at three grid levels,
+    loop-dominated with trivially predictable paths."""
+    cycles = 6 * scale
+    return """
+global seed;
+global g0[1024];
+global g1[256];
+global g2[64];
+""" + LCG + """
+func relax0() {
+    s = 0;
+    for (i = 1; i < 1023; i = i + 1) {
+        g0[i] = (g0[i - 1] + g0[i] * 2 + g0[i + 1]) / 4;
+        s = s + g0[i];
+    }
+    return s % 1000003;
+}
+func restrict1() {
+    for (i = 1; i < 255; i = i + 1) {
+        g1[i] = (g0[i * 4] + g0[i * 4 + 1]) / 2;
+    }
+    return g1[128];
+}
+func relax2() {
+    s = 0;
+    for (i = 1; i < 63; i = i + 1) {
+        g2[i] = (g2[i - 1] + g2[i + 1]) / 2;
+        s = s + g2[i];
+    }
+    return s;
+}
+func main() {
+    seed = 23;
+    for (i = 0; i < 1024; i = i + 1) { g0[i] = rnd(1000); }
+    for (i = 0; i < 64; i = i + 1) { g2[i] = rnd(100); }
+    s = 0;
+    for (c = 0; c < @N@; c = c + 1) {
+        s = (s + relax0()) % 1000003;
+        s = (s + restrict1()) % 1000003;
+        s = (s + relax2()) % 1000003;
+    }
+    return s;
+}
+""".replace("@N@", str(cycles))
+
+
+def applu_like(scale: int = 1) -> str:
+    """LU solver flavour: sweeps with a small pivot branch inside an
+    otherwise regular loop nest."""
+    sweeps = 10 * scale
+    return """
+global seed;
+global m[900];
+""" + LCG + """
+func sweep(n) {
+    s = 0;
+    for (i = 1; i < n; i = i + 1) {
+        piv = m[i * 30 % 900];
+        if (piv == 0) { piv = 1; }
+        for (j = 1; j < 30; j = j + 1) {
+            t = m[(i * 30 + j) % 900];
+            m[(i * 30 + j) % 900] = t - (t / piv);
+        }
+        s = s + piv;
+    }
+    return s % 1000003;
+}
+func main() {
+    seed = 31;
+    for (i = 0; i < 900; i = i + 1) { m[i] = rnd(90) + 1; }
+    s = 0;
+    for (k = 0; k < @N@; k = k + 1) { s = (s + sweep(30)) % 1000003; }
+    return s;
+}
+""".replace("@N@", str(sweeps))
+
+
+def mesa_like(scale: int = 1) -> str:
+    """Software rasteriser: per-pixel loop with many independent state
+    tests (fog/blend/depth/...), enough paths that SAC must adjust."""
+    frames = 4 * scale
+    return """
+global seed;
+global fb[1024];
+global zb[1024];
+""" + LCG + """
+func shade(px, state) {
+    c = fb[px];
+    z = zb[px];
+    if (state & 1) { c = c + 8; } else { c = c - 1; }
+    if (state & 2) { c = c ^ 5; } else { c = c + 2; }
+    if (state & 4) { c = c * 2; } else { c = c + z % 3; }
+    if (state & 8) { c = c - 4; } else { c = c + 4; }
+    if (state & 16) { c = c + z / 8; } else { c = c - 2; }
+    if (state & 32) { c = c % 251; } else { c = c + 1; }
+    if (z > 128) { c = c + 3; } else { c = c - 3; }
+    if (c < 0) { c = -c; }
+    if (c > 255) { c = c % 256; }
+    if (px % 2 == 0) { c = c + 1; }
+    if (px % 32 == 0) { c = c ^ z % 16; }
+    return c;
+}
+func draw(state, n) {
+    s = 0;
+    for (px = 0; px < n; px = px + 1) {
+        z = rnd(256);
+        if (z < zb[px]) {
+            zb[px] = z;
+            fb[px] = shade(px, state);
+            s = s + fb[px];
+        } else {
+            s = s + 1;
+        }
+    }
+    return s % 1000003;
+}
+func main() {
+    seed = 37;
+    for (i = 0; i < 1024; i = i + 1) { fb[i] = rnd(256); zb[i] = 255; }
+    s = 0;
+    for (f = 0; f < @N@; f = f + 1) {
+        s = (s + draw(f * 13, 1024)) % 1000003;
+        for (i = 0; i < 1024; i = i + 1) { zb[i] = 255; }
+    }
+    return s;
+}
+""".replace("@N@", str(frames))
+
+
+def art_like(scale: int = 1) -> str:
+    """Adaptive-resonance network: layer loops with tiny helper functions
+    that all get inlined (the paper reports 100% for art)."""
+    epochs = 9 * scale
+    return """
+global seed;
+global wgt[400];
+global inp[20];
+""" + LCG + """
+func clip(x) {
+    if (x < 0) { return 0; }
+    if (x > 1000) { return 1000; }
+    return x;
+}
+func act(x) {
+    if (x > 500) { return x / 2; }
+    return x;
+}
+func epoch() {
+    s = 0;
+    for (j = 0; j < 20; j = j + 1) {
+        net = 0;
+        for (i = 0; i < 20; i = i + 1) {
+            net = net + wgt[j * 20 + i] * inp[i] / 100;
+        }
+        net = act(clip(net));
+        for (i = 0; i < 20; i = i + 1) {
+            wgt[j * 20 + i] = clip(wgt[j * 20 + i] + (net - inp[i]) / 50);
+        }
+        s = s + net;
+    }
+    return s % 1000003;
+}
+func main() {
+    seed = 43;
+    for (i = 0; i < 400; i = i + 1) { wgt[i] = rnd(1000); }
+    s = 0;
+    for (e = 0; e < @N@; e = e + 1) {
+        for (i = 0; i < 20; i = i + 1) { inp[i] = rnd(1000); }
+        s = (s + epoch()) % 1000003;
+    }
+    return s;
+}
+""".replace("@N@", str(epochs))
+
+
+def equake_like(scale: int = 1) -> str:
+    """Sparse matrix-vector product over a fixed mesh; the tiny index
+    helper is always inlined (100% in the paper)."""
+    steps = 14 * scale
+    return """
+global seed;
+global val[800];
+global col[800];
+global x[200];
+global y[200];
+""" + LCG + """
+func rowstart(r) { return r * 4; }
+func smvp() {
+    s = 0;
+    for (r = 0; r < 200; r = r + 1) {
+        acc = 0;
+        base = rowstart(r);
+        for (k = 0; k < 4; k = k + 1) {
+            acc = acc + val[base + k] * x[col[base + k]];
+        }
+        y[r] = acc % 1000003;
+        s = s + y[r];
+    }
+    return s % 1000003;
+}
+func main() {
+    seed = 47;
+    for (i = 0; i < 800; i = i + 1) { val[i] = rnd(50); col[i] = rnd(200); }
+    for (i = 0; i < 200; i = i + 1) { x[i] = rnd(100); }
+    s = 0;
+    for (t = 0; t < @N@; t = t + 1) {
+        s = (s + smvp()) % 1000003;
+        for (i = 0; i < 200; i = i + 1) { x[i] = (x[i] + y[i]) % 1000; }
+    }
+    return s;
+}
+""".replace("@N@", str(steps))
+
+
+def ammp_like(scale: int = 1) -> str:
+    """Molecular dynamics: pairwise force loop with cutoff branches;
+    small vector helpers inline nearly everywhere (98% in the paper)."""
+    steps = 3 * scale
+    return """
+global seed;
+global px[80];
+global pv[80];
+""" + LCG + """
+func dist2(i, j) {
+    d = px[i] - px[j];
+    return d * d;
+}
+func force(d2) {
+    if (d2 > 2500) { return 0; }
+    if (d2 < 4) { return 50; }
+    return 10000 / d2;
+}
+func step() {
+    s = 0;
+    for (i = 0; i < 80; i = i + 1) {
+        f = 0;
+        for (j = 0; j < 80; j = j + 1) {
+            if (i != j) {
+                f = f + force(dist2(i, j));
+            }
+        }
+        pv[i] = (pv[i] + f / 100) % 1000;
+        s = s + f;
+    }
+    for (i = 0; i < 80; i = i + 1) { px[i] = (px[i] + pv[i] / 10) % 500; }
+    return s % 1000003;
+}
+func main() {
+    seed = 53;
+    for (i = 0; i < 80; i = i + 1) { px[i] = rnd(500); pv[i] = rnd(20); }
+    s = 0;
+    for (t = 0; t < @N@; t = t + 1) { s = (s + step()) % 1000003; }
+    return s;
+}
+""".replace("@N@", str(steps))
+
+
+def sixtrack_like(scale: int = 1) -> str:
+    """Particle tracking: a long straight-line physics kernel inside hot
+    loops -- the benchmark where unrolling pays most in the paper."""
+    turns = 50 * scale
+    return """
+global seed;
+global posx[128];
+global posy[128];
+""" + LCG + """
+func track(turn) {
+    s = 0;
+    for (p = 0; p < 128; p = p + 1) {
+        x = posx[p];
+        y = posy[p];
+        x = x + y / 3;
+        y = y - x / 5;
+        x = (x * 31 + 7) % 10007;
+        y = (y * 17 + 3) % 10007;
+        x = x + turn % 11;
+        y = y + turn % 13;
+        posx[p] = x;
+        posy[p] = y;
+        s = s + x + y;
+    }
+    return s % 1000003;
+}
+func main() {
+    seed = 59;
+    for (i = 0; i < 128; i = i + 1) { posx[i] = rnd(10007); posy[i] = rnd(10007); }
+    s = 0;
+    for (t = 0; t < @N@; t = t + 1) { s = (s + track(t)) % 1000003; }
+    return s;
+}
+""".replace("@N@", str(turns))
+
+
+def apsi_like(scale: int = 1) -> str:
+    """Mesoscale-weather flavour: many short loops over small arrays
+    (tiny paths pre-unrolling; unrolling lengthens them dramatically,
+    as in the paper's 0.44 -> 2.04 branch jump)."""
+    steps = 16 * scale
+    return """
+global seed;
+global t_[256];
+global q[256];
+global wind[256];
+""" + LCG + """
+func advect() {
+    for (i = 1; i < 255; i = i + 1) { t_[i] = (t_[i] + t_[i - 1]) / 2; }
+    for (i = 1; i < 255; i = i + 1) { q[i] = (q[i] + q[i + 1]) / 2; }
+    for (i = 0; i < 256; i = i + 1) { wind[i] = (wind[i] * 9) / 10; }
+    s = 0;
+    for (i = 0; i < 256; i = i + 1) { s = s + t_[i] + q[i]; }
+    return s % 1000003;
+}
+func main() {
+    seed = 61;
+    for (i = 0; i < 256; i = i + 1) {
+        t_[i] = rnd(300);
+        q[i] = rnd(100);
+        wind[i] = rnd(60);
+    }
+    s = 0;
+    for (st = 0; st < @N@; st = st + 1) { s = (s + advect()) % 1000003; }
+    return s;
+}
+""".replace("@N@", str(steps))

@@ -1,0 +1,100 @@
+"""Tests for the call graph (repro.cfg.callgraph)."""
+
+import pytest
+
+from repro.cfg.callgraph import build_call_graph
+from repro.lang import compile_source
+
+
+def graph_of(src):
+    return build_call_graph(compile_source(src))
+
+
+class TestStructure:
+    def test_callees_and_callers(self):
+        g = graph_of("""
+            func a() { return b() + c(); }
+            func b() { return c(); }
+            func c() { return 1; }
+            func main() { return a(); }
+        """)
+        assert g.callees["a"] == {"b", "c"}
+        assert g.callers["c"] == {"a", "b"}
+        assert g.callees["c"] == set()
+
+    def test_site_counts(self):
+        g = graph_of("""
+            func f(x) { return x; }
+            func main() { return f(1) + f(2) + f(3); }
+        """)
+        assert g.calls("main", "f") == 3
+        assert g.calls("f", "main") == 0
+
+    def test_reachable_from_main(self):
+        g = graph_of("""
+            func used() { return 1; }
+            func dead() { return deader(); }
+            func deader() { return 2; }
+            func main() { return used(); }
+        """)
+        assert g.reachable_from() == {"main", "used"}
+        assert g.reachable_from("dead") == {"dead", "deader"}
+
+
+class TestRecursion:
+    def test_self_recursion(self):
+        g = graph_of("""
+            func fact(n) { if (n < 2) { return 1; }
+                return n * fact(n - 1); }
+            func main() { return fact(5); }
+        """)
+        assert g.is_recursive("fact")
+        assert not g.is_recursive("main")
+        assert {"fact"} in g.recursion_groups()
+
+    def test_mutual_recursion_detected(self):
+        g = graph_of("""
+            func even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+            func odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+            func main() { return even(4); }
+        """)
+        assert g.is_recursive("even") and g.is_recursive("odd")
+        assert {"even", "odd"} in g.recursion_groups()
+
+    def test_acyclic_has_no_groups(self):
+        g = graph_of("""
+            func leaf() { return 1; }
+            func mid() { return leaf(); }
+            func main() { return mid(); }
+        """)
+        assert g.recursion_groups() == []
+
+
+class TestBottomUp:
+    def test_callees_precede_callers(self):
+        g = graph_of("""
+            func leaf() { return 1; }
+            func mid() { return leaf(); }
+            func top() { return mid(); }
+            func main() { return top(); }
+        """)
+        order = g.bottom_up_order()
+        assert order.index("leaf") < order.index("mid") \
+            < order.index("top") < order.index("main")
+
+    def test_order_covers_all_functions(self):
+        g = graph_of("""
+            func island() { return 9; }
+            func main() { return 0; }
+        """)
+        assert set(g.bottom_up_order()) == {"island", "main"}
+
+    def test_scc_members_adjacent(self):
+        g = graph_of("""
+            func even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+            func odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+            func main() { return even(4); }
+        """)
+        order = g.bottom_up_order()
+        assert abs(order.index("even") - order.index("odd")) == 1
+        assert order.index("main") > order.index("even")

@@ -1,0 +1,92 @@
+"""Tests for the CFG -> DAG conversion (repro.cfg.dag)."""
+
+from repro.cfg import build_cfg, build_profiling_dag, is_acyclic
+
+from conftest import diamond_cfg, loop_cfg
+
+
+class TestSimpleLoop:
+    def test_back_edge_replaced_by_dummies(self):
+        dag = build_profiling_dag(loop_cfg())
+        assert len(dag.back_edges) == 1
+        assert is_acyclic(dag.dag)
+        # No direct B -> H edge remains.
+        assert not dag.dag.has_edge("B", "H")
+        assert dag.dag.has_edge("E", "H")  # entry dummy
+        assert dag.dag.has_edge("B", "X")  # exit dummy
+
+    def test_dummy_lookup(self):
+        dag = build_profiling_dag(loop_cfg())
+        back = dag.back_edges[0]
+        entry_dummy, exit_dummy = dag.dummies_for(back)
+        assert entry_dummy is not None
+        assert entry_dummy.pair == ("E", "H") and entry_dummy.dummy
+        assert exit_dummy.pair == ("B", "X") and exit_dummy.dummy
+        assert dag.is_entry_dummy(entry_dummy)
+        assert dag.is_exit_dummy(exit_dummy)
+        assert not dag.is_entry_dummy(exit_dummy)
+
+    def test_real_edge_round_trip(self):
+        cfg = loop_cfg()
+        dag = build_profiling_dag(cfg)
+        real = cfg.edge("H", "B")
+        mirrored = dag.dag_edge_for(real)
+        assert mirrored is not None
+        assert dag.cfg_edge_for(mirrored) is real
+
+    def test_back_edge_has_no_mirror(self):
+        cfg = loop_cfg()
+        dag = build_profiling_dag(cfg)
+        back = cfg.edge("B", "H")
+        assert dag.dag_edge_for(back) is None
+
+
+class TestDeduplication:
+    def test_shared_header_gets_one_entry_dummy(self):
+        cfg = build_cfg("g", [
+            ("E", "H"), ("H", "A"), ("H", "B"), ("A", "H"), ("B", "H"),
+            ("H", "X"),
+        ], "E", "X")
+        dag = build_profiling_dag(cfg)
+        assert len(dag.back_edges) == 2
+        assert list(dag.entry_dummies) == ["H"]
+        assert set(dag.exit_dummies) == {"A", "B"}
+        assert len(dag.back_edges_into("H")) == 2
+
+    def test_shared_tail_gets_one_exit_dummy(self):
+        # T has back edges to two different headers.
+        cfg = build_cfg("g", [
+            ("E", "H1"), ("H1", "H2"), ("H2", "T"),
+            ("T", "H1"), ("T", "H2"), ("H2", "X"),
+        ], "E", "X")
+        dag = build_profiling_dag(cfg)
+        assert len(dag.back_edges) == 2
+        assert list(dag.exit_dummies) == ["T"]
+        assert set(dag.entry_dummies) == {"H1", "H2"}
+        assert len(dag.back_edges_from("T")) == 2
+
+    def test_back_edge_into_entry_has_no_entry_dummy(self):
+        cfg = build_cfg("g", [("H", "B"), ("B", "H"), ("H", "X")],
+                        "H", "X")
+        dag = build_profiling_dag(cfg)
+        assert dag.entry_dummies == {}
+        assert "B" in dag.exit_dummies
+        assert is_acyclic(dag.dag)
+        entry_dummy, exit_dummy = dag.dummies_for(dag.back_edges[0])
+        assert entry_dummy is None
+        assert exit_dummy.pair == ("B", "X")
+
+
+class TestAcyclicInput:
+    def test_dag_of_dag_is_identity_like(self):
+        cfg = diamond_cfg()
+        dag = build_profiling_dag(cfg)
+        assert dag.back_edges == []
+        assert dag.dag.num_edges == cfg.num_edges
+        assert dag.entry_dummies == {} and dag.exit_dummies == {}
+
+    def test_original_cfg_untouched(self):
+        cfg = loop_cfg()
+        edges_before = {(e.src, e.dst) for e in cfg.edges()}
+        build_profiling_dag(cfg)
+        assert {(e.src, e.dst) for e in cfg.edges()} == edges_before

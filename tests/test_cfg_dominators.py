@@ -1,0 +1,71 @@
+"""Tests for repro.cfg.dominators."""
+
+from repro.cfg import build_cfg, compute_dominators
+
+from conftest import diamond_cfg, loop_cfg
+
+
+class TestDiamond:
+    def test_entry_dominates_all(self):
+        dom = compute_dominators(diamond_cfg())
+        for name in ("A", "B", "C", "D"):
+            assert dom.dominates("A", name)
+
+    def test_branch_arms_do_not_dominate_merge(self):
+        dom = compute_dominators(diamond_cfg())
+        assert not dom.dominates("B", "D")
+        assert not dom.dominates("C", "D")
+        assert dom.idom["D"] == "A"
+
+    def test_reflexive_but_not_strict(self):
+        dom = compute_dominators(diamond_cfg())
+        assert dom.dominates("B", "B")
+        assert not dom.strictly_dominates("B", "B")
+        assert dom.strictly_dominates("A", "B")
+
+    def test_entry_has_no_idom(self):
+        dom = compute_dominators(diamond_cfg())
+        assert dom.idom["A"] is None
+
+    def test_dominators_of_chain(self):
+        dom = compute_dominators(diamond_cfg())
+        assert dom.dominators_of("D") == ["D", "A"]
+        assert dom.dominators_of("B") == ["B", "A"]
+
+
+class TestLoops:
+    def test_loop_header_dominates_body(self):
+        dom = compute_dominators(loop_cfg())
+        assert dom.dominates("H", "B")
+        assert dom.dominates("H", "X")
+
+    def test_body_does_not_dominate_header(self):
+        dom = compute_dominators(loop_cfg())
+        assert not dom.dominates("B", "H")
+
+
+class TestIrregular:
+    def test_nested_diamonds(self):
+        cfg = build_cfg("g", [
+            ("A", "B"), ("A", "C"),
+            ("B", "B1"), ("B", "B2"), ("B1", "BM"), ("B2", "BM"),
+            ("BM", "D"), ("C", "D"),
+        ], "A", "D")
+        dom = compute_dominators(cfg)
+        assert dom.idom["BM"] == "B"
+        assert dom.idom["D"] == "A"
+        assert dom.dominates("B", "B1")
+        assert not dom.dominates("B", "D")
+
+    def test_multiple_back_paths(self):
+        # A -> B -> C -> B and A -> C: C's idom must be A, not B.
+        cfg = build_cfg("g", [("A", "B"), ("B", "C"), ("A", "C"),
+                              ("C", "X")], "A", "X")
+        dom = compute_dominators(cfg)
+        assert dom.idom["C"] == "A"
+
+    def test_unreachable_blocks_ignored(self):
+        cfg = diamond_cfg()
+        cfg.add_block("island")
+        dom = compute_dominators(cfg)
+        assert "island" not in dom.idom or dom.idom.get("island") is None

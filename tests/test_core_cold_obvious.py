@@ -1,0 +1,180 @@
+"""Tests for cold-edge criteria (Sections 3.2, 4.2) and obvious
+paths/loops (Section 3.2)."""
+
+import pytest
+
+from repro.cfg import build_profiling_dag, find_loops
+from repro.core import (all_paths_obvious, cold_cfg_edges, defining_edges,
+                        live_dag_edges, loop_average_trips, loop_is_obvious,
+                        obvious_loop_cold_edges, project_cold_to_dag)
+from repro.profiles.edge_profile import FunctionEdgeProfile
+
+from conftest import fig8_function, fig8_profile, trace_module
+from repro.lang import compile_source
+
+
+class TestColdCriteria:
+    def test_local_criterion(self):
+        func = fig8_function()
+        profile = fig8_profile(func)
+        # D->F has freq 20 of D's 80: 25% -- not cold at 5%, cold at 30%.
+        assert cold_cfg_edges(func.cfg, profile, local_ratio=0.05) == set()
+        cold = cold_cfg_edges(func.cfg, profile, local_ratio=0.30)
+        assert func.cfg.edge("D", "F").uid in cold
+        assert func.cfg.edge("A", "C").uid not in cold  # 30/80 = 37.5%
+
+    def test_global_criterion(self):
+        func = fig8_function()
+        profile = fig8_profile(func)
+        # Total unit flow 1000: the 0.1% cutoff is 1 -> nothing cold;
+        # with a 5% cutoff (50), edges with freq < 50 are cold.
+        cold = cold_cfg_edges(func.cfg, profile, local_ratio=None,
+                              global_fraction=0.05, total_unit_flow=1000)
+        pairs = {(e.src, e.dst) for e in func.cfg.edges()
+                 if e.uid in cold}
+        assert pairs == {("A", "C"), ("C", "D"), ("D", "F"), ("F", "G")}
+
+    def test_global_requires_total(self):
+        func = fig8_function()
+        profile = fig8_profile(func)
+        with pytest.raises(ValueError):
+            cold_cfg_edges(func.cfg, profile, local_ratio=None,
+                           global_fraction=0.01)
+
+    def test_either_criterion_marks_cold(self):
+        func = fig8_function()
+        profile = fig8_profile(func)
+        both = cold_cfg_edges(func.cfg, profile, local_ratio=0.30,
+                              global_fraction=0.05, total_unit_flow=1000)
+        local_only = cold_cfg_edges(func.cfg, profile, local_ratio=0.30)
+        global_only = cold_cfg_edges(func.cfg, profile, local_ratio=None,
+                                     global_fraction=0.05,
+                                     total_unit_flow=1000)
+        assert both == local_only | global_only
+
+    def test_unexecuted_edges_not_cold_under_local_zero(self):
+        # freq 0 against a freq-0 source: 0 < 0.05*0 is false.
+        func = fig8_function()
+        profile = FunctionEdgeProfile(func, {}, entry_count=0)
+        assert cold_cfg_edges(func.cfg, profile, local_ratio=0.05) == set()
+
+
+class TestProjection:
+    def test_dummy_cold_only_if_all_backs_cold(self):
+        m = compile_source("""
+            func main() { s = 0;
+                for (i = 0; i < 9; i = i + 1) { s = s + i; }
+                return s; }""")
+        func = m.functions["main"]
+        dag = build_profiling_dag(func.cfg)
+        back = dag.back_edges[0]
+        cold = project_cold_to_dag(dag, {back.uid})
+        entry_dummy, exit_dummy = dag.dummies_for(back)
+        assert entry_dummy.uid in cold
+        assert exit_dummy.uid in cold
+
+    def test_live_is_complement(self):
+        func = fig8_function()
+        dag = build_profiling_dag(func.cfg)
+        cold_cfg = {func.cfg.edge("D", "F").uid}
+        live = live_dag_edges(dag, cold_cfg)
+        assert len(live) == dag.dag.num_edges - 1
+
+
+class TestObviousPaths:
+    def test_ladder_is_all_obvious(self):
+        # An if-else ladder: every path has a defining edge.
+        m = compile_source("""
+            func main() {
+                x = 3;
+                if (x == 1) { return 10; }
+                if (x == 2) { return 20; }
+                if (x == 3) { return 30; }
+                return 0;
+            }""")
+        func = m.functions["main"]
+        dag = build_profiling_dag(func.cfg)
+        live = {e.uid for e in dag.dag.edges()}
+        assert all_paths_obvious(dag.dag, live)
+
+    def test_sequential_diamonds_not_obvious(self):
+        func = fig8_function()
+        dag = build_profiling_dag(func.cfg)
+        live = {e.uid for e in dag.dag.edges()}
+        assert not all_paths_obvious(dag.dag, live)
+        assert defining_edges(dag.dag, live) == set()
+
+    def test_cold_removal_creates_obviousness(self):
+        # Removing one arm of the first diamond makes every remaining
+        # path contain a defining edge of the second diamond.
+        func = fig8_function()
+        dag = build_profiling_dag(func.cfg)
+        cold = dag.dag_edge_for(func.cfg.edge("A", "C"))
+        live = {e.uid for e in dag.dag.edges()} - {cold.uid}
+        assert all_paths_obvious(dag.dag, live)
+
+    def test_empty_graph_vacuously_obvious(self):
+        func = fig8_function()
+        dag = build_profiling_dag(func.cfg)
+        assert all_paths_obvious(dag.dag, set())
+
+
+class TestObviousLoops:
+    HOT_LOOP = """
+        func main() { s = 0;
+            for (i = 0; i < 200; i = i + 1) { s = s + i; }
+            return s; }
+    """
+
+    def _traced(self, src):
+        m = compile_source(src)
+        _actual, profile, _r = trace_module(m)
+        return m.functions["main"], profile["main"]
+
+    def test_high_trip_obvious_loop_disconnected(self):
+        func, profile = self._traced(self.HOT_LOOP)
+        loops = find_loops(func.cfg)
+        # Header runs 201 times per entry (200 iterations + exit check).
+        assert loop_average_trips(loops[0], func.cfg, profile) == 201
+        assert loop_is_obvious(func.cfg, loops[0], set())
+        extra = obvious_loop_cold_edges(func.cfg, loops, profile, set())
+        expected = ({e.uid for e in loops[0].entry_edges(func.cfg)}
+                    | {e.uid for e in loops[0].exit_edges(func.cfg)}
+                    | {e.uid for e in loops[0].back_edges})
+        assert extra == expected
+
+    def test_low_trip_loop_not_disconnected(self):
+        func, profile = self._traced("""
+            func main() { s = 0;
+                for (o = 0; o < 50; o = o + 1) {
+                    for (i = 0; i < 3; i = i + 1) { s = s + i; }
+                }
+                return s; }""")
+        loops = find_loops(func.cfg)
+        inner = [lp for lp in loops if lp.depth == 2][0]
+        assert loop_average_trips(inner, func.cfg, profile) < 8
+        extra = obvious_loop_cold_edges(func.cfg, [inner], profile, set())
+        assert extra == set()
+
+    def test_branchy_body_not_obvious(self):
+        func, profile = self._traced("""
+            func main() { s = 0;
+                for (i = 0; i < 100; i = i + 1) {
+                    if (i % 2 == 0) { s = s + 1; } else { s = s + 2; }
+                    if (i % 3 == 0) { s = s - 1; } else { s = s - 2; }
+                }
+                return s; }""")
+        loops = find_loops(func.cfg)
+        assert not loop_is_obvious(func.cfg, loops[0], set())
+        assert obvious_loop_cold_edges(func.cfg, loops, profile,
+                                       set()) == set()
+
+    def test_single_diamond_body_is_obvious(self):
+        func, profile = self._traced("""
+            func main() { s = 0;
+                for (i = 0; i < 100; i = i + 1) {
+                    if (i % 2 == 0) { s = s + 1; } else { s = s + 2; }
+                }
+                return s; }""")
+        loops = find_loops(func.cfg)
+        assert loop_is_obvious(func.cfg, loops[0], set())

@@ -1,0 +1,131 @@
+"""Tests for estimated-profile construction and scoring (Sections 5-6)."""
+
+import pytest
+
+from repro.core import (build_estimated_profile, edge_profile_estimate,
+                        evaluate_accuracy, evaluate_coverage,
+                        evaluate_edge_coverage, instrumented_fraction,
+                        measured_paths, path_dag_edges, path_is_instrumented,
+                        plan_pp, plan_ppp, plan_tpp, run_with_plan)
+from repro.lang import compile_source
+
+from conftest import SMALL_PROGRAM, trace_module
+
+
+@pytest.fixture(scope="module")
+def env():
+    m = compile_source(SMALL_PROGRAM, name="small")
+    actual, profile, result = trace_module(m)
+    return m, actual, profile, result
+
+
+class TestPathMapping:
+    def test_every_actual_path_maps_to_dag(self, env):
+        m, actual, profile, _r = env
+        plan = plan_pp(m)
+        for name, fp in actual.functions.items():
+            fplan = plan.functions[name]
+            for blocks in fp.counts:
+                edges = path_dag_edges(fplan, blocks)
+                assert edges is not None, (name, blocks)
+                # Round trip through the numbering.
+                n = fplan.numbering.number_of(edges)
+                assert 0 <= n < fplan.numbering.total
+
+    def test_all_paths_instrumented_under_pp(self, env):
+        m, actual, _p, _r = env
+        plan = plan_pp(m)
+        for name, fp in actual.functions.items():
+            for blocks in fp.counts:
+                assert path_is_instrumented(plan.functions[name], blocks)
+
+    def test_uninstrumented_function_has_no_instrumented_paths(self, env):
+        m, actual, profile, _r = env
+        plan = plan_ppp(m, profile)
+        for name, fplan in plan.functions.items():
+            if fplan.instrumented:
+                continue
+            for blocks in actual[name].counts:
+                assert not path_is_instrumented(fplan, blocks)
+
+
+class TestEstimatedProfile:
+    def test_pp_estimate_equals_truth(self, env):
+        m, actual, profile, _r = env
+        run = run_with_plan(plan_pp(m))
+        est = build_estimated_profile(run, profile)
+        assert est.source == "instrumentation"
+        for name, fp in actual.functions.items():
+            for blocks, count in fp.counts.items():
+                flow = fp.flow(blocks, "branch")
+                if flow > 0:
+                    assert est.flows.get((name, blocks)) == pytest.approx(
+                        flow), (name, blocks)
+
+    def test_uninstrumented_falls_back_to_potential(self):
+        # A program whose only hot routine is a high-coverage stencil:
+        # PPP instruments nothing, so the estimate comes from potential
+        # flow (Section 6.1's swim/mgrid exception).
+        src = """
+        global a[64];
+        func main() {
+            s = 0;
+            for (i = 0; i < 200; i = i + 1) {
+                a[i] = a[i] + i;
+                s = s + a[i];
+            }
+            return s;
+        }
+        """
+        m = compile_source(src)
+        actual, profile, _r = trace_module(m)
+        plan = plan_ppp(m, profile)
+        assert not plan.any_instrumented()
+        run = run_with_plan(plan)
+        est = build_estimated_profile(run, profile)
+        assert est.source == "potential"
+        assert evaluate_accuracy(actual, est.flows) >= 0.95
+
+    def test_definite_fills_in_skipped_routines(self, env):
+        m, actual, profile, _r = env
+        plan = plan_ppp(m, profile)
+        skipped = [n for n, p in plan.functions.items()
+                   if not p.instrumented and profile[n].executed()]
+        if not skipped:
+            pytest.skip("PPP instrumented everything here")
+        run = run_with_plan(plan)
+        est = build_estimated_profile(run, profile)
+        assert any(name == skip for (name, _b) in est.flows
+                   for skip in skipped)
+
+
+class TestScores:
+    def test_edge_estimate_weaker_than_ppp(self, env):
+        m, actual, profile, _r = env
+        run = run_with_plan(plan_ppp(m, profile))
+        ppp_est = build_estimated_profile(run, profile)
+        edge_est = edge_profile_estimate(m, profile)
+        assert evaluate_accuracy(actual, ppp_est.flows) >= \
+            evaluate_accuracy(actual, edge_est) - 1e-9
+
+    def test_coverage_ordering(self, env):
+        m, actual, profile, _r = env
+        pp = run_with_plan(plan_pp(m))
+        ppp = run_with_plan(plan_ppp(m, profile))
+        cov_pp = evaluate_coverage(pp, actual, profile)
+        cov_ppp = evaluate_coverage(ppp, actual, profile)
+        cov_edge = evaluate_edge_coverage(actual, profile)
+        assert cov_edge <= cov_ppp + 1e-9 <= cov_pp + 1e-9
+
+    def test_instrumented_fraction_bounds(self, env):
+        m, actual, profile, _r = env
+        for plan in (plan_pp(m), plan_tpp(m, profile), plan_ppp(m, profile)):
+            frac = instrumented_fraction(plan, actual)
+            assert 0.0 <= frac.hashed <= frac.instrumented <= 1.0
+
+    def test_empty_profile_fraction_zero(self):
+        from repro.profiles import PathProfile
+        m = compile_source("func main() { return 0; }")
+        plan = plan_pp(m)
+        frac = instrumented_fraction(plan, PathProfile.empty(m))
+        assert frac.instrumented == 0.0

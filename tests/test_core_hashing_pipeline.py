@@ -1,0 +1,138 @@
+"""Pipelines on routines that genuinely need hashing (> 4000 paths)."""
+
+import pytest
+
+from repro.core import (DEFAULT_CONFIG, ProfilerConfig, measured_paths,
+                        plan_pp, plan_ppp, plan_tpp, run_with_plan)
+from repro.lang import compile_source
+
+from conftest import trace_module
+
+
+def wide_source(biased: bool) -> str:
+    """13 sequential diamonds: 8192 possible paths.
+
+    ``biased`` makes the first two tests lean heavily one way (TPP's
+    local criterion prunes them, dropping the count to 2048 <= 4000 and
+    letting an array replace the hash); unbiased keeps everything warm
+    (pruning cannot help, TPP must keep the hash table).
+    """
+    warm = [f"    if ((x >> {i}) & 1) {{ s = s + {i}; }} "
+            f"else {{ s = s - 1; }}" for i in range(13)]
+    if biased:
+        cold = [f"    if (x % 100 == {i}) {{ s = s + 100; }} "
+                f"else {{ s = s - 1; }}" for i in range(2)]
+        tests = "\n".join(cold + warm[:11])
+    else:
+        tests = "\n".join(warm)
+    return f"""
+    func wide(x) {{
+        s = 0;
+    {tests}
+        return s;
+    }}
+    func main() {{
+        t = 0;
+        for (i = 0; i < 400; i = i + 1) {{ t = t + wide(i * 7 + 1); }}
+        return t;
+    }}
+    """
+
+
+class TestUnbiasedWide:
+    """All branches warm: TPP cannot prune below the threshold and must
+    keep the hash table (Section 3.2's gate)."""
+
+    @pytest.fixture(scope="class")
+    def env(self):
+        m = compile_source(wide_source(biased=False))
+        actual, profile, result = trace_module(m)
+        return m, actual, profile, result
+
+    def test_pp_hashes(self, env):
+        m, _a, _p, _r = env
+        plan = plan_pp(m)
+        assert plan.functions["wide"].use_hash
+        assert plan.functions["wide"].num_paths == 8192
+
+    def test_tpp_reverts_to_hash(self, env):
+        m, _a, profile, _r = env
+        plan = plan_tpp(m, profile)
+        wide = plan.functions["wide"]
+        assert wide.instrumented
+        assert wide.use_hash
+        assert wide.cold_cfg == set()  # pruning would not have helped
+
+    def test_hash_counts_match_truth_when_no_conflicts(self, env):
+        m, actual, profile, result = env
+        plan = plan_tpp(m, profile)
+        run = run_with_plan(plan)
+        assert run.run.return_value == result.return_value
+        store = run.stores["wide"]
+        seen = measured_paths(run, "wide")
+        truth = actual["wide"].counts
+        # Measured + lost must account for every execution.
+        assert sum(seen.values()) + store.lost == sum(truth.values())
+        for blocks, count in seen.items():
+            assert truth[blocks] == count
+
+    def test_ppp_sac_forces_array(self, env):
+        m, _a, profile, result = env
+        plan = plan_ppp(m, profile)
+        wide = plan.functions["wide"]
+        if wide.instrumented:
+            assert not wide.use_hash
+            assert wide.num_paths <= DEFAULT_CONFIG.hash_threshold
+            assert wide.sac_iterations >= 1
+        run = run_with_plan(plan)
+        assert run.run.return_value == result.return_value
+
+    def test_ppp_without_sac_hashes_with_free_poisoning(self, env):
+        m, _a, profile, result = env
+        config = ProfilerConfig(self_adjusting=False,
+                                global_criterion=False)
+        plan = plan_ppp(m, profile, config)
+        wide = plan.functions["wide"]
+        if wide.instrumented:
+            assert wide.use_hash
+        run = run_with_plan(plan)
+        assert run.run.return_value == result.return_value
+
+
+class TestBiasedWide:
+    """Heavily biased tests: TPP's local criterion prunes the routine
+    below the threshold, replacing the hash with an array + poisoning."""
+
+    @pytest.fixture(scope="class")
+    def env(self):
+        m = compile_source(wide_source(biased=True))
+        actual, profile, result = trace_module(m)
+        return m, actual, profile, result
+
+    def test_tpp_prunes_to_array(self, env):
+        m, _a, profile, _r = env
+        plan = plan_tpp(m, profile)
+        wide = plan.functions["wide"]
+        assert wide.instrumented
+        assert not wide.use_hash
+        assert wide.cold_cfg  # the biased arms got removed
+        assert wide.num_paths <= DEFAULT_CONFIG.hash_threshold
+
+    def test_cold_executions_counted_cold(self, env):
+        m, actual, profile, result = env
+        plan = plan_tpp(m, profile)
+        run = run_with_plan(plan)
+        assert run.run.return_value == result.return_value
+        store = run.stores["wide"]
+        hot = sum(c for _i, c in store.hot_items())
+        # hot + cold accounts for every invocation of wide.
+        assert hot + store.cold_total() == 400
+
+    def test_overheads_ordered(self, env):
+        m, _a, profile, _r = env
+        pp = run_with_plan(plan_pp(m)).overhead
+        tpp = run_with_plan(plan_tpp(m, profile)).overhead
+        ppp = run_with_plan(plan_ppp(m, profile)).overhead
+        assert ppp <= tpp + 1e-9 <= pp + 2e-9
+        # Array + poisoning beats hashing clearly here.
+        assert tpp < 0.9 * pp

@@ -1,0 +1,138 @@
+"""Tests for path numbering (Figures 2 and 6)."""
+
+import itertools
+
+import pytest
+
+from repro.cfg import build_profiling_dag
+from repro.core import number_paths
+
+from conftest import fig8_function, fig8_profile, trace_module
+from repro.lang import compile_source
+from repro.profiles.flowsets import DagFrequencies
+
+
+def _all_dag_paths(dag):
+    """Enumerate every entry->exit edge path of a DAG by DFS."""
+    graph = dag.dag
+    out = []
+
+    def walk(v, path):
+        if v == graph.exit:
+            out.append(list(path))
+            return
+        for e in graph.out_edges(v):
+            path.append(e)
+            walk(e.dst, path)
+            path.pop()
+
+    walk(graph.entry, [])
+    return out
+
+
+class TestUniqueness:
+    def test_fig8_numbers_are_bijective(self):
+        func = fig8_function()
+        dag = build_profiling_dag(func.cfg)
+        numbering = number_paths(dag)
+        assert numbering.total == 4
+        numbers = sorted(numbering.number_of(p) for p in _all_dag_paths(dag))
+        assert numbers == [0, 1, 2, 3]
+
+    def test_loop_paths_numbered(self):
+        m = compile_source("""
+            func main() { s = 0;
+                for (i = 0; i < 3; i = i + 1) {
+                    if (i % 2 == 0) { s = s + 1; } else { s = s - 1; }
+                }
+                return s; }""")
+        dag = build_profiling_dag(m.functions["main"].cfg)
+        numbering = number_paths(dag)
+        paths = _all_dag_paths(dag)
+        numbers = sorted(numbering.number_of(p) for p in paths)
+        assert numbers == list(range(numbering.total))
+
+    def test_smart_numbering_also_bijective(self):
+        func = fig8_function()
+        dag = build_profiling_dag(func.cfg)
+        freqs = DagFrequencies(dag, fig8_profile(func))
+        numbering = number_paths(dag, order="smart", edge_freq=freqs.edge)
+        numbers = sorted(numbering.number_of(p) for p in _all_dag_paths(dag))
+        assert numbers == [0, 1, 2, 3]
+
+    def test_smart_requires_frequencies(self):
+        func = fig8_function()
+        dag = build_profiling_dag(func.cfg)
+        with pytest.raises(ValueError):
+            number_paths(dag, order="smart")
+
+
+class TestSmartOrdering:
+    def test_hottest_edge_gets_zero(self):
+        func = fig8_function()
+        dag = build_profiling_dag(func.cfg)
+        freqs = DagFrequencies(dag, fig8_profile(func))
+        numbering = number_paths(dag, order="smart", edge_freq=freqs.edge)
+        # A->B (freq 50) beats A->C (30); D->E (60) beats D->F (20).
+        a_b = dag.dag_edge_for(func.cfg.edge("A", "B"))
+        d_e = dag.dag_edge_for(func.cfg.edge("D", "E"))
+        assert numbering.val[a_b.uid] == 0
+        assert numbering.val[d_e.uid] == 0
+
+    def test_hottest_path_gets_number_zero(self):
+        func = fig8_function()
+        dag = build_profiling_dag(func.cfg)
+        freqs = DagFrequencies(dag, fig8_profile(func))
+        numbering = number_paths(dag, order="smart", edge_freq=freqs.edge)
+        hottest = [dag.dag_edge_for(func.cfg.edge(*p))
+                   for p in [("A", "B"), ("B", "D"), ("D", "E"), ("E", "G")]]
+        assert numbering.number_of(hottest) == 0
+
+
+class TestDecode:
+    def test_decode_round_trip(self):
+        func = fig8_function()
+        dag = build_profiling_dag(func.cfg)
+        numbering = number_paths(dag)
+        for path in _all_dag_paths(dag):
+            n = numbering.number_of(path)
+            decoded = numbering.decode(n)
+            assert [e.uid for e in decoded] == [e.uid for e in path]
+
+    def test_decode_out_of_range(self):
+        func = fig8_function()
+        dag = build_profiling_dag(func.cfg)
+        numbering = number_paths(dag)
+        assert numbering.decode(-1) is None
+        assert numbering.decode(numbering.total) is None
+
+    def test_decode_with_pruned_edges(self):
+        func = fig8_function()
+        dag = build_profiling_dag(func.cfg)
+        cold = dag.dag_edge_for(func.cfg.edge("D", "F"))
+        live = {e.uid for e in dag.dag.edges()} - {cold.uid}
+        numbering = number_paths(dag, live=live)
+        assert numbering.total == 2
+        for n in range(2):
+            path = numbering.decode(n)
+            assert cold.uid not in {e.uid for e in path}
+
+
+class TestPruning:
+    def test_pruning_reduces_path_count(self):
+        func = fig8_function()
+        dag = build_profiling_dag(func.cfg)
+        full = number_paths(dag)
+        cold = dag.dag_edge_for(func.cfg.edge("A", "C"))
+        live = {e.uid for e in dag.dag.edges()} - {cold.uid}
+        pruned = number_paths(dag, live=live)
+        assert full.total == 4
+        assert pruned.total == 2
+
+    def test_fully_disconnected_gives_zero(self):
+        func = fig8_function()
+        dag = build_profiling_dag(func.cfg)
+        c1 = dag.dag_edge_for(func.cfg.edge("A", "B"))
+        c2 = dag.dag_edge_for(func.cfg.edge("A", "C"))
+        live = {e.uid for e in dag.dag.edges()} - {c1.uid, c2.uid}
+        assert number_paths(dag, live=live).total == 0

@@ -1,0 +1,239 @@
+"""Tests for the PP/TPP/PPP pipelines (Sections 3-4).
+
+The anchor property: **PP's counters exactly reproduce the ground-truth
+path profile** on array-counted routines.  Everything else (TPP/PPP) is
+checked against the paper's qualitative claims: less instrumentation,
+lower overhead, hashing eliminated, high accuracy retained.
+"""
+
+import pytest
+
+from repro.core import (DEFAULT_CONFIG, ProfilerConfig, build_estimated_profile,
+                        evaluate_accuracy, evaluate_coverage,
+                        instrumented_fraction, measured_paths,
+                        path_is_instrumented, plan_pp, plan_ppp, plan_tpp,
+                        ppp_config_only, ppp_config_without, run_with_plan)
+from repro.lang import compile_source
+
+from conftest import SMALL_PROGRAM, trace_module
+
+
+@pytest.fixture(scope="module")
+def env():
+    m = compile_source(SMALL_PROGRAM, name="small")
+    actual, profile, result = trace_module(m)
+    return m, actual, profile, result
+
+
+class TestPP:
+    def test_counters_match_ground_truth_exactly(self, env):
+        m, actual, _profile, result = env
+        plan = plan_pp(m)
+        run = run_with_plan(plan)
+        assert run.run.return_value == result.return_value
+        for name, fplan in plan.functions.items():
+            if fplan.use_hash:
+                continue
+            assert measured_paths(run, name) == actual[name].counts, name
+
+    def test_pp_instruments_everything(self, env):
+        m, actual, _p, _r = env
+        plan = plan_pp(m)
+        assert set(plan.instrumented_functions()) == set(m.functions)
+        frac = instrumented_fraction(plan, actual)
+        assert frac.instrumented == 1.0
+
+    def test_pp_accuracy_and_coverage_are_perfect(self, env):
+        m, actual, profile, _r = env
+        plan = plan_pp(m)
+        run = run_with_plan(plan)
+        est = build_estimated_profile(run, profile)
+        assert evaluate_accuracy(actual, est.flows) == 1.0
+        assert evaluate_coverage(run, actual, profile) == pytest.approx(
+            1.0, abs=1e-9)
+
+    def test_no_lost_paths_without_hashing(self, env):
+        m, _a, _p, _r = env
+        run = run_with_plan(plan_pp(m))
+        for store in run.stores.values():
+            assert store.lost == 0
+            assert store.cold_total() == 0
+
+
+class TestTPP:
+    def test_skips_unexecuted_functions(self, env):
+        m, _a, profile, _r = env
+        src = SMALL_PROGRAM + "func dead() { return 1; }"
+        m2 = compile_source(src)
+        actual2, profile2, _r2 = trace_module(m2)
+        plan = plan_tpp(m2, profile2)
+        assert not plan.functions["dead"].instrumented
+        assert plan.functions["dead"].reason == "unexecuted"
+
+    def test_skips_all_obvious_routines(self):
+        src = """
+        func classify(x) {
+            if (x == 1) { return 10; }
+            if (x == 2) { return 20; }
+            return 0;
+        }
+        func main() {
+            s = 0;
+            for (i = 0; i < 60; i = i + 1) { s = s + classify(i % 3); }
+            return s;
+        }
+        """
+        m = compile_source(src)
+        _a, profile, _r = trace_module(m)
+        plan = plan_tpp(m, profile)
+        assert not plan.functions["classify"].instrumented
+        assert plan.functions["classify"].reason == "all paths obvious"
+
+    def test_cold_removal_gated_on_hashing(self, env):
+        m, _a, profile, _r = env
+        # Small functions stay below the hash threshold, so TPP performs
+        # no cold removal at all.
+        plan = plan_tpp(m, profile)
+        for fplan in plan.functions.values():
+            if fplan.instrumented:
+                assert fplan.cold_cfg == set() or fplan.num_paths > 0
+
+    def test_behaviour_preserved(self, env):
+        m, _a, profile, result = env
+        run = run_with_plan(plan_tpp(m, profile))
+        assert run.run.return_value == result.return_value
+
+    def test_overhead_not_above_pp(self, env):
+        m, _a, profile, _r = env
+        pp = run_with_plan(plan_pp(m))
+        tpp = run_with_plan(plan_tpp(m, profile))
+        assert tpp.overhead <= pp.overhead + 1e-9
+
+
+class TestPPPTechniques:
+    def test_lc_skips_high_coverage_routines(self, env):
+        m, _a, profile, _r = env
+        plan = plan_ppp(m, profile)
+        skipped = [p for p in plan.functions.values()
+                   if p.reason == "high edge-profile coverage"]
+        for p in skipped:
+            assert p.coverage_estimate is not None
+            assert p.coverage_estimate >= DEFAULT_CONFIG.coverage_threshold
+
+    def test_lc_disabled_instruments_more(self, env):
+        m, _a, profile, _r = env
+        with_lc = plan_ppp(m, profile)
+        without = plan_ppp(m, profile, ppp_config_without("LC"))
+        assert len(without.instrumented_functions()) >= \
+            len(with_lc.instrumented_functions())
+
+    def test_global_criterion_prunes_more_than_local(self, env):
+        m, _a, profile, _r = env
+        cfg_no_gec = ppp_config_without("SAC")  # disables GEC + SAC
+        base = plan_ppp(m, profile, ppp_config_without("LC"))
+        no_gec = plan_ppp(
+            m, profile,
+            ProfilerConfig(low_coverage_only=False, global_criterion=False,
+                           self_adjusting=False))
+        for name in base.functions:
+            if base.functions[name].instrumented \
+                    and no_gec.functions[name].instrumented:
+                assert len(base.functions[name].cold_cfg) >= \
+                    len(no_gec.functions[name].cold_cfg)
+
+    def test_sac_eliminates_hashing(self):
+        # A routine with 2^13 paths: PP must hash, PPP's SAC must not.
+        tests = "\n".join(
+            f"    if (x & {1 << i}) {{ s = s + {i}; }} "
+            f"else {{ s = s - 1; }}" for i in range(13))
+        src = f"""
+        func wide(x) {{
+            s = 0;
+        {tests}
+            return s;
+        }}
+        func main() {{
+            s = 0;
+            for (i = 0; i < 300; i = i + 1) {{ s = s + wide(i * 7); }}
+            return s;
+        }}
+        """
+        m = compile_source(src)
+        _a, profile, _r = trace_module(m)
+        pp = plan_pp(m)
+        assert pp.functions["wide"].use_hash
+        ppp = plan_ppp(m, profile)
+        wide = ppp.functions["wide"]
+        if wide.instrumented:
+            assert not wide.use_hash
+            assert wide.num_paths <= DEFAULT_CONFIG.hash_threshold
+
+    def test_free_poisoning_no_checks(self, env):
+        m, _a, profile, _r = env
+        plan = plan_ppp(m, profile)
+        for fplan in plan.functions.values():
+            assert fplan.poison_style == "free"
+        without_fp = plan_ppp(m, profile, ppp_config_without("FP"))
+        for fplan in without_fp.functions.values():
+            if fplan.instrumented:
+                assert fplan.poison_style == "check"
+
+    def test_behaviour_preserved_all_configs(self, env):
+        m, _a, profile, result = env
+        for technique in ("SAC", "FP", "Push", "SPN", "LC"):
+            run = run_with_plan(
+                plan_ppp(m, profile, ppp_config_without(technique)))
+            assert run.run.return_value == result.return_value, technique
+        for technique in ("none", "SAC", "FP", "Push", "SPN", "LC"):
+            run = run_with_plan(
+                plan_ppp(m, profile, ppp_config_only(technique)))
+            assert run.run.return_value == result.return_value, technique
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(ValueError):
+            ppp_config_without("XYZ")
+        with pytest.raises(ValueError):
+            ppp_config_only("XYZ")
+
+
+class TestPPPQuality:
+    def test_overhead_ordering(self, env):
+        m, _a, profile, _r = env
+        pp = run_with_plan(plan_pp(m))
+        tpp = run_with_plan(plan_tpp(m, profile))
+        ppp = run_with_plan(plan_ppp(m, profile))
+        assert ppp.overhead <= tpp.overhead + 1e-9 <= pp.overhead + 2e-9
+
+    def test_accuracy_stays_high(self, env):
+        m, actual, profile, _r = env
+        run = run_with_plan(plan_ppp(m, profile))
+        est = build_estimated_profile(run, profile)
+        assert evaluate_accuracy(actual, est.flows) >= 0.90
+
+    def test_instrumented_paths_decode_to_real_paths(self, env):
+        m, actual, profile, _r = env
+        plan = plan_ppp(m, profile)
+        run = run_with_plan(plan)
+        for name, fplan in plan.functions.items():
+            if not fplan.instrumented:
+                continue
+            cfg = m.functions[name].cfg
+            for blocks in measured_paths(run, name):
+                for a, b in zip(blocks, blocks[1:]):
+                    assert cfg.has_edge(a, b)
+
+    def test_path_is_instrumented_consistent_with_measurement(self, env):
+        """Measured counts on instrumented paths must equal ground truth,
+        except for overcount billed onto them by pushed-through colds."""
+        m, actual, profile, _r = env
+        plan = plan_ppp(m, profile)
+        run = run_with_plan(plan)
+        for name, fplan in plan.functions.items():
+            if not fplan.instrumented:
+                continue
+            seen = measured_paths(run, name)
+            truth = actual[name].counts
+            for blocks, count in seen.items():
+                assert path_is_instrumented(fplan, blocks)
+                assert count >= truth.get(blocks, 0) or \
+                    fplan.use_hash, (name, blocks)

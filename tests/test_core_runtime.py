@@ -1,0 +1,77 @@
+"""Tests for the counter stores (array + the paper's 701-slot hash)."""
+
+from repro.core import (HASH_SLOTS, HASH_TRIES, ArrayStore, HashStore,
+                        make_store)
+
+
+class TestArrayStore:
+    def test_hot_counting(self):
+        store = ArrayStore(num_hot=4, span=8)
+        for i in (0, 1, 1, 3):
+            store.bump(i)
+        assert store.hot_items() == [(0, 1), (1, 2), (3, 1)]
+        assert store.cold_total() == 0
+
+    def test_poison_range_counts_as_cold(self):
+        store = ArrayStore(num_hot=4, span=8)
+        store.bump(5)
+        store.bump(7)
+        assert store.hot_items() == []
+        assert store.cold_total() == 2
+
+    def test_out_of_span_is_lost(self):
+        store = ArrayStore(num_hot=2, span=4)
+        store.bump(99)
+        store.bump(-1)
+        assert store.lost == 2
+        assert store.cold_total() == 2
+
+    def test_span_at_least_hot(self):
+        store = ArrayStore(num_hot=8, span=2)
+        store.bump(7)
+        assert store.hot_items() == [(7, 1)]
+
+
+class TestHashStore:
+    def test_distinct_keys_counted(self):
+        store = HashStore(num_hot=10_000)
+        for key in (5, 700, 5, 9000, 5):
+            store.bump(key)
+        items = dict(store.hot_items())
+        assert items[5] == 3
+        assert items[700] == 1
+        assert items[9000] == 1
+
+    def test_overflow_keys_are_cold(self):
+        store = HashStore(num_hot=10)
+        store.bump(50)  # >= num_hot: a poisoned path's counter
+        assert store.hot_items() == []
+        assert store.cold_total() == 1
+
+    def test_collisions_become_lost_paths(self):
+        store = HashStore(num_hot=10 ** 9)
+        # Insert far more distinct keys than the 701 slots can hold: the
+        # overflow must be tallied as lost paths, never mis-counted.
+        for key in range(5000):
+            store.bump(key)
+        stored = sum(1 for k in store.keys if k is not None)
+        assert stored <= HASH_SLOTS
+        assert store.lost == 5000 - stored
+        # Existing keys still increment fine.
+        first_key, first_count = store.hot_items()[0]
+        store.bump(first_key)
+        assert dict(store.hot_items())[first_key] == first_count + 1
+
+    def test_probe_tries_bounded(self):
+        store = HashStore(num_hot=100, slots=3, tries=HASH_TRIES)
+        for key in range(20):
+            store.bump(key)
+        # Only 3 slots exist; everything else is lost, nothing crashes.
+        assert store.lost == 20 - sum(1 for k in store.keys if k is not None)
+
+
+class TestMakeStore:
+    def test_selects_array_or_hash(self):
+        assert isinstance(make_store(10, 20, use_hash=False), ArrayStore)
+        assert isinstance(make_store(10_000, 10_000, use_hash=True),
+                          HashStore)

@@ -1,0 +1,119 @@
+"""Tests for the experiment harness (runner, tables, figures, ablation)."""
+
+import pytest
+
+from repro.harness import (figure9, figure10, figure11, figure12, figure13,
+                           one_at_a_time, run_workload, select_benchmarks,
+                           table1, table1_row, table2, table2_row)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def two_results():
+    """Two cheap, contrasting workloads: branchy INT + loopy FP."""
+    return {
+        "twolf": run_workload(get_workload("twolf")),
+        "swim": run_workload(get_workload("swim")),
+    }
+
+
+class TestRunner:
+    def test_all_techniques_scored(self, two_results):
+        for r in two_results.values():
+            assert set(r.techniques) == {"pp", "tpp", "ppp"}
+            for tech in r.techniques.values():
+                assert 0.0 <= tech.accuracy <= 1.0
+                assert 0.0 <= tech.coverage <= 1.0
+                assert tech.overhead >= 0.0
+
+    def test_paper_shape_overhead_ordering(self, two_results):
+        for name, r in two_results.items():
+            pp = r.techniques["pp"].overhead
+            tpp = r.techniques["tpp"].overhead
+            ppp = r.techniques["ppp"].overhead
+            assert ppp <= tpp + 1e-9 <= pp + 2e-9, name
+
+    def test_swim_uninstrumented_by_tpp_and_ppp(self, two_results):
+        r = two_results["swim"]
+        assert r.techniques["tpp"].functions_instrumented == 0
+        assert r.techniques["ppp"].functions_instrumented == 0
+        assert r.techniques["tpp"].overhead == 0.0
+
+    def test_edge_metrics_bounded(self, two_results):
+        for r in two_results.values():
+            assert 0.0 <= r.edge_accuracy <= 1.0
+            assert 0.0 <= r.edge_coverage <= 1.0
+
+    def test_expansion_preserved_behaviour(self, two_results):
+        # run_workload asserts this internally; double-check the record.
+        for r in two_results.values():
+            assert r.opt.speedup > 0
+
+
+class TestRendering:
+    def test_table1_mentions_benchmarks_and_averages(self, two_results):
+        text = table1(two_results)
+        assert "twolf" in text and "swim" in text
+        assert "INT Avg" in text and "FP Avg" in text
+        assert "Overall Avg" in text
+
+    def test_table1_row_values(self, two_results):
+        row = table1_row(two_results["swim"])
+        assert row.avg_unroll_factor >= 1.0
+        assert row.exp_avg_instrs >= row.orig_avg_instrs  # unrolling
+
+    def test_table2_row_thresholds(self, two_results):
+        row = table2_row(two_results["twolf"])
+        assert row.hot_strict <= row.hot_loose <= row.distinct_paths
+        assert row.hot_strict_flow <= row.hot_loose_flow <= 1.0
+        assert "Distinct" in table2(two_results)
+
+    def test_figures_render(self, two_results):
+        for renderer in (figure9, figure10, figure11, figure12):
+            text = renderer(two_results)
+            assert "twolf" in text and "Average" in text
+
+    def test_figure11_has_hash_columns(self, two_results):
+        assert "PP hash" in figure11(two_results)
+
+
+class TestAblation:
+    def test_selection_gate(self, two_results):
+        chosen = select_benchmarks(two_results)
+        # swim has zero TPP overhead; it can never be selected.
+        assert "swim" not in chosen
+
+    def test_figure13_renders(self, two_results):
+        text = figure13(two_results)
+        assert "no SAC" in text and "no FP" in text
+
+    def test_one_at_a_time_renders(self, two_results):
+        text = one_at_a_time(two_results)
+        assert "LC" in text and "SPN" in text
+
+
+class TestCli:
+    def test_main_runs_one_table(self, capsys):
+        from repro.harness.__main__ import main
+        rc = main(["table2", "--benchmarks", "swim", "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "swim" in out and "Table 2" in out
+
+
+class TestScaleRobustness:
+    """The headline shapes must not depend on the default workload size."""
+
+    def test_shapes_hold_at_scale_two(self):
+        from repro.harness import run_workload
+        from repro.workloads import get_workload
+        for name in ("twolf", "sixtrack"):
+            r = run_workload(get_workload(name), scale=2)
+            pp = r.techniques["pp"]
+            tpp = r.techniques["tpp"]
+            ppp = r.techniques["ppp"]
+            assert ppp.overhead <= tpp.overhead + 1e-9 \
+                <= pp.overhead + 2e-9, name
+            assert ppp.accuracy >= 0.9, name
+            assert 0.0 <= r.edge_coverage <= 1.0
+            assert pp.instrumented_fraction == 1.0

@@ -1,0 +1,147 @@
+"""Tests for repro.ir: instructions, functions, sealing."""
+
+import pytest
+
+from repro.ir import (BinOp, Branch, Call, Const, Function, IRBuilder,
+                      IRError, Jump, Mov, Module, Ret, UnOp)
+
+
+class TestInstructions:
+    def test_binop_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            BinOp("**", "d", "a", "b")
+
+    def test_unop_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            UnOp("+", "d", "a")
+
+    def test_branch_same_targets_rejected(self):
+        with pytest.raises(ValueError):
+            Branch("c", "X", "X")
+
+    def test_registers_read_written(self):
+        instr = BinOp("+", "d", "a", "b")
+        assert instr.registers_read() == ("a", "b")
+        assert instr.register_written() == "d"
+        assert Ret("r").registers_read() == ("r",)
+        assert Ret().registers_read() == ()
+        call = Call("d", "f", ["x", "y"])
+        assert call.registers_read() == ("x", "y")
+        assert call.register_written() == "d"
+
+    def test_reprs_are_readable(self):
+        assert "const" in repr(Const("d", 5))
+        assert "jump" in repr(Jump("L"))
+        assert "branch" in repr(Branch("c", "A", "B"))
+
+
+class TestSealing:
+    def _simple(self):
+        f = Function("f", ["x"])
+        f.add_block("entry")
+        f.append("entry", Mov("__ret", "x"))
+        f.append("entry", Ret("__ret"))
+        return f
+
+    def test_seal_builds_edges(self):
+        b = IRBuilder("f")
+        b.block("entry")
+        b.const("c", 1)
+        b.branch("c", "t", "e")
+        b.block("t")
+        b.jump("join")
+        b.block("e")
+        b.jump("join")
+        b.block("join")
+        b.ret()
+        f = b.finish()
+        assert f.cfg.entry == "entry"
+        assert f.cfg.exit == "join"
+        assert set(f.cfg.succs("entry")) == {"t", "e"}
+
+    def test_missing_terminator_rejected(self):
+        f = Function("f")
+        f.add_block("entry")
+        f.append("entry", Const("a", 1))
+        with pytest.raises(IRError):
+            f.seal("entry")
+
+    def test_multiple_returns_rejected(self):
+        f = Function("f")
+        f.add_block("a")
+        f.append("a", Ret())
+        f.add_block("b")
+        f.append("b", Ret())
+        with pytest.raises(IRError):
+            f.seal("a")
+
+    def test_no_return_rejected(self):
+        f = Function("f")
+        f.add_block("a")
+        f.append("a", Jump("a"))
+        with pytest.raises(IRError):
+            f.seal("a")
+
+    def test_append_after_terminator_rejected(self):
+        f = self._simple()
+        with pytest.raises(IRError):
+            f.append("entry", Const("x", 1))
+
+    def test_mutation_after_seal_rejected(self):
+        f = self._simple()
+        f.seal("entry")
+        with pytest.raises(IRError):
+            f.add_block("more")
+
+    def test_register_slots_cover_all_registers(self):
+        f = self._simple()
+        f.seal("entry")
+        assert "x" in f.register_slots
+        assert "__ret" in f.register_slots
+        assert f.num_slots == 2
+
+    def test_size_counts_statements(self):
+        f = self._simple()
+        assert f.size() == 2
+
+    def test_call_sites(self):
+        f = Function("f")
+        f.add_block("entry")
+        f.append("entry", Call("r", "g", []))
+        f.append("entry", Ret("r"))
+        sites = f.call_sites()
+        assert len(sites) == 1
+        assert sites[0][0] == "entry" and sites[0][1] == 0
+
+    def test_local_array_validation(self):
+        f = Function("f")
+        with pytest.raises(IRError):
+            f.add_local_array("a", 0)
+        f.add_local_array("a", 4)
+        with pytest.raises(IRError):
+            f.add_local_array("a", 8)
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        m = Module("m")
+        f = Function("f")
+        m.add_function(f)
+        with pytest.raises(IRError):
+            m.add_function(Function("f"))
+
+    def test_unknown_function_raises(self):
+        m = Module("m")
+        with pytest.raises(IRError):
+            m.function("missing")
+
+    def test_global_declarations(self):
+        m = Module("m")
+        m.add_global_scalar("g", 5)
+        m.add_global_array("arr", 10)
+        with pytest.raises(IRError):
+            m.add_global_scalar("g")
+        with pytest.raises(IRError):
+            m.add_global_array("arr", 3)
+        with pytest.raises(IRError):
+            m.add_global_array("bad", 0)

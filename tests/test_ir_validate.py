@@ -1,0 +1,110 @@
+"""Tests for the IR validator (repro.ir.validate)."""
+
+import pytest
+
+from repro.ir import (Call, Function, IRBuilder, IRError, Load, Module, Ret,
+                      check_module, validate_module)
+
+
+def _module_with(func: Function) -> Module:
+    m = Module("m")
+    m.main = func.name
+    m.add_function(func)
+    return m
+
+
+def _trivial(name="main") -> Function:
+    b = IRBuilder(name)
+    b.block("entry")
+    b.const("__ret", 0)
+    b.ret("__ret")
+    return b.finish()
+
+
+class TestValidation:
+    def test_valid_module_passes(self):
+        m = _module_with(_trivial())
+        assert validate_module(m) == []
+        check_module(m)
+
+    def test_missing_main_flagged(self):
+        m = _module_with(_trivial("not_main"))
+        m.main = "main"
+        assert any("main" in p for p in validate_module(m))
+
+    def test_unknown_call_flagged(self):
+        b = IRBuilder("main")
+        b.block("entry")
+        b.call("r", "ghost", [])
+        b.ret("r")
+        m = _module_with(b.finish())
+        problems = validate_module(m)
+        assert any("ghost" in p for p in problems)
+        with pytest.raises(IRError):
+            check_module(m)
+
+    def test_arity_mismatch_flagged(self):
+        callee = IRBuilder("callee", ["a", "b"])
+        callee.block("entry")
+        callee.const("__ret", 0)
+        callee.ret("__ret")
+        b = IRBuilder("main")
+        b.block("entry")
+        b.call("r", "callee", ["x"])  # one arg, needs two
+        b.ret("r")
+        m = Module("m")
+        m.add_function(callee.finish())
+        m.add_function(b.finish())
+        assert any("args" in p for p in validate_module(m))
+
+    def test_unknown_array_flagged(self):
+        b = IRBuilder("main")
+        b.block("entry")
+        b.load("v", "ghost_array", "v")
+        b.ret("v")
+        m = _module_with(b.finish())
+        assert any("ghost_array" in p for p in validate_module(m))
+
+    def test_local_array_is_known(self):
+        b = IRBuilder("main")
+        b.local_array("buf", 8)
+        b.block("entry")
+        b.const("i", 0)
+        b.load("v", "buf", "i")
+        b.ret("v")
+        m = _module_with(b.finish())
+        assert validate_module(m) == []
+
+    def test_global_array_is_known(self):
+        b = IRBuilder("main")
+        b.block("entry")
+        b.const("i", 0)
+        b.load("v", "gbuf", "i")
+        b.ret("v")
+        m = _module_with(b.finish())
+        m.add_global_array("gbuf", 8)
+        assert validate_module(m) == []
+
+    def test_unknown_global_scalar_flagged(self):
+        b = IRBuilder("main")
+        b.block("entry")
+        b.gload("v", "ghost")
+        b.ret("v")
+        m = _module_with(b.finish())
+        assert any("ghost" in p for p in validate_module(m))
+
+    def test_unreachable_block_flagged(self):
+        f = Function("main")
+        f.add_block("entry")
+        f.append("entry", Ret())
+        f.add_block("island")
+        from repro.ir import Jump
+        f.append("island", Jump("entry"))
+        f.seal("entry")
+        m = _module_with(f)
+        assert any("unreachable" in p for p in validate_module(m))
+
+    def test_unsealed_function_flagged(self):
+        f = Function("main")
+        m = _module_with(f)
+        assert any("not sealed" in p for p in validate_module(m))

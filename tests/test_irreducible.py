@@ -1,0 +1,116 @@
+"""The full pipeline on an irreducible CFG.
+
+MiniC only produces reducible graphs, but the library accepts arbitrary
+IR.  Irreducible regions (a cycle with two entries, neither header
+dominating the other) are broken by the DFS-retreating-edge fallback in
+:func:`repro.cfg.find_back_edges`; everything downstream -- numbering,
+placement, execution -- must still produce exact counts.
+"""
+
+import pytest
+
+from repro.cfg import build_profiling_dag, find_back_edges, is_acyclic
+from repro.core import measured_paths, plan_pp, run_with_plan
+from repro.interp import Machine
+from repro.ir import IRBuilder, Module
+from repro.profiles import PathProfile
+
+
+def irreducible_module() -> Module:
+    """main(n): a two-entry cycle between L and R.
+
+    entry -> L (when n even) or R (odd); L -> R -> L ... until the
+    counter runs out; both exit to 'done'.
+    """
+    b = IRBuilder("main", ["n"])
+    b.block("entry")
+    b.const("two", 2)
+    b.binop("%", "par", "n", "two")
+    b.mov("i", "n")
+    b.branch("par", "R", "L")
+
+    b.block("L")
+    b.const("one", 1)
+    b.binop("-", "i", "i", "one")
+    b.binop(">", "more", "i", "one")  # i > 1
+    b.branch("more", "R", "done")
+
+    b.block("R")
+    b.const("one2", 1)
+    b.binop("-", "i", "i", "one2")
+    b.const("zero", 0)
+    b.binop(">", "more2", "i", "zero")
+    b.branch("more2", "L", "done")
+
+    b.block("done")
+    b.mov("__ret", "i")
+    b.ret("__ret")
+    func = b.finish("entry")
+    module = Module("irreducible")
+    module.add_function(func)
+
+    d = IRBuilder("driver")
+    d.block("entry")
+    d.const("s", 0)
+    d.const("k", 0)
+    d.jump("head")
+    d.block("head")
+    d.const("limit", 12)
+    d.binop("<", "go", "k", "limit")
+    d.branch("go", "body", "out")
+    d.block("body")
+    d.call("r", "main", ["k"])
+    d.binop("+", "s", "s", "r")
+    d.const("one", 1)
+    d.binop("+", "k", "k", "one")
+    d.jump("head")
+    d.block("out")
+    d.mov("__ret", "s")
+    d.ret("__ret")
+    module.add_function(d.finish("entry"))
+    module.main = "driver"
+    return module
+
+
+class TestIrreducible:
+    def test_cycle_is_truly_irreducible(self):
+        module = irreducible_module()
+        func = module.functions["main"]
+        from repro.cfg import compute_dominators
+        dom = compute_dominators(func.cfg)
+        # Neither L nor R dominates the other: two-entry cycle.
+        assert not dom.dominates("L", "R")
+        assert not dom.dominates("R", "L")
+
+    def test_retreating_edges_break_the_cycle(self):
+        module = irreducible_module()
+        func = module.functions["main"]
+        backs = find_back_edges(func.cfg)
+        assert backs, "the irreducible cycle must be broken"
+        dag = build_profiling_dag(func.cfg)
+        assert is_acyclic(dag.dag)
+
+    def test_pp_counts_exactly_on_irreducible_cfg(self):
+        module = irreducible_module()
+        machine = Machine(module, trace_paths=True)
+        truth = machine.run()
+        actual = PathProfile.from_trace(module, truth.path_counts)
+        plan = plan_pp(module)
+        run = run_with_plan(plan)
+        assert run.run.return_value == truth.return_value
+        for name, fplan in plan.functions.items():
+            if fplan.use_hash:
+                continue
+            assert measured_paths(run, name) == actual[name].counts, name
+
+    def test_tpp_and_ppp_survive_irreducibility(self):
+        from repro.core import plan_ppp, plan_tpp
+        from repro.profiles import EdgeProfile
+        module = irreducible_module()
+        machine = Machine(module, collect_edge_profile=True)
+        result = machine.run()
+        profile = EdgeProfile.from_run(module, result.edge_counts,
+                                       result.invocations)
+        for plan in (plan_tpp(module, profile), plan_ppp(module, profile)):
+            run = run_with_plan(plan)
+            assert run.run.return_value == result.return_value

@@ -1,0 +1,157 @@
+"""Edge-case coverage for the MiniC front end and the CLI."""
+
+import pytest
+
+from repro.interp import run_module
+from repro.lang import LexError, MiniCError, ParseError, compile_source
+
+
+def run(src):
+    return run_module(compile_source(src)).return_value
+
+
+class TestParserEdgeCases:
+    def test_deeply_nested_expressions(self):
+        expr = "1" + " + 1" * 200
+        assert run(f"func main() {{ return {expr}; }}") == 201
+
+    def test_deeply_nested_parens(self):
+        expr = "(" * 50 + "7" + ")" * 50
+        assert run(f"func main() {{ return {expr}; }}") == 7
+
+    def test_deeply_nested_blocks(self):
+        src = "func main() { x = 0;\n"
+        for i in range(40):
+            src += f"if (x == {i}) {{ x = x + 1;\n"
+        src += "}" * 40 + "\nreturn x; }"
+        assert run(src) == 40
+
+    def test_empty_function_body(self):
+        assert run("func main() { }") == 0
+
+    def test_empty_blocks_everywhere(self):
+        assert run("""
+            func main() {
+                if (1) { } else { }
+                while (0) { }
+                for (;0;) { }
+                return 5;
+            }""") == 5
+
+    def test_else_binds_to_nearest_if(self):
+        assert run("""
+            func main() {
+                x = 0;
+                if (1) { if (0) { x = 1; } else { x = 2; } }
+                return x;
+            }""") == 2
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            compile_source("func main() { return 0;")
+
+    def test_missing_paren(self):
+        with pytest.raises(ParseError):
+            compile_source("func main() { if (1 { return 0; } return 1; }")
+
+    def test_errors_carry_locations(self):
+        try:
+            compile_source("func main() {\n  x = ;\n}")
+        except MiniCError as exc:
+            assert "2:" in str(exc)
+        else:
+            pytest.fail("expected a parse error")
+
+    def test_keyword_as_identifier_rejected(self):
+        with pytest.raises(ParseError):
+            compile_source("func main() { func = 1; return func; }")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            compile_source("func main() { return 0; } stray")
+
+    def test_call_expression_as_for_clause(self):
+        assert run("""
+            global n;
+            func bump() { n = n + 1; return n; }
+            func main() {
+                for (bump(); n < 5; bump()) { }
+                return n;
+            }""") == 5
+
+
+class TestLoweringEdgeCases:
+    def test_return_inside_loop(self):
+        assert run("""
+            func main() {
+                for (i = 0; i < 100; i = i + 1) {
+                    if (i == 7) { return i; }
+                }
+                return -1;
+            }""") == 7
+
+    def test_dead_code_after_return_dropped(self):
+        m = compile_source("""
+            func main() {
+                return 1;
+                x = 2;
+                return x;
+            }""")
+        assert run_module(m).return_value == 1
+
+    def test_while_with_logical_condition(self):
+        assert run("""
+            func main() {
+                i = 0;
+                while (i < 10 && i != 6) { i = i + 1; }
+                return i;
+            }""") == 6
+
+    def test_nested_short_circuit(self):
+        assert run("""
+            func main() {
+                a = 1; b = 0; c = 1;
+                return (a && (b || c)) + ((a && b) || c);
+            }""") == 2
+
+    def test_break_from_nested_if_in_loop(self):
+        assert run("""
+            func main() {
+                s = 0;
+                for (i = 0; i < 10; i = i + 1) {
+                    if (i > 2) { if (i > 4) { break; } }
+                    s = s + 1;
+                }
+                return s;
+            }""") == 5
+
+    def test_global_initial_float(self):
+        assert run("global g = 2.5; func main() { return g * 2; }") == 5.0
+
+    def test_many_functions(self):
+        parts = [f"func f{i}(x) {{ return x + {i}; }}" for i in range(30)]
+        calls = " + ".join(f"f{i}(0)" for i in range(30))
+        parts.append(f"func main() {{ return {calls}; }}")
+        assert run("\n".join(parts)) == sum(range(30))
+
+
+class TestCliErrors:
+    def test_missing_file(self, capsys):
+        from repro.__main__ import main
+        assert main(["run", "/definitely/not/here.minic"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_syntax_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "broken.minic"
+        path.write_text("func main() { return ; ")
+        from repro.__main__ import main
+        assert main(["run", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "broken.minic" in err
+
+    def test_semantic_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "sem.minic"
+        path.write_text("func main() { return ghost(1); }")
+        from repro.__main__ import main
+        assert main(["run", str(path)]) == 1
+        assert "ghost" in capsys.readouterr().err

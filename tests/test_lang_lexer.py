@@ -1,0 +1,67 @@
+"""Tests for the MiniC lexer."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_keywords_vs_idents(self):
+        toks = kinds("func while whileish forx for")
+        assert toks == [("keyword", "func"), ("keyword", "while"),
+                        ("ident", "whileish"), ("ident", "forx"),
+                        ("keyword", "for")]
+
+    def test_numbers(self):
+        assert kinds("12 3.5 0 007") == [("int", "12"), ("float", "3.5"),
+                                         ("int", "0"), ("int", "007")]
+
+    def test_float_needs_digits_after_dot(self):
+        # "3." is an int followed by something (the dot is not ours).
+        with pytest.raises(LexError):
+            tokenize("3.")
+
+    def test_two_char_operators_win(self):
+        assert kinds("a<=b") == [("ident", "a"), ("op", "<="),
+                                 ("ident", "b")]
+        assert kinds("a<<2") == [("ident", "a"), ("op", "<<"), ("int", "2")]
+        assert kinds("a&&b||c") == [("ident", "a"), ("op", "&&"),
+                                    ("ident", "b"), ("op", "||"),
+                                    ("ident", "c")]
+
+    def test_single_ampersand_is_bitand(self):
+        assert kinds("a&b") == [("ident", "a"), ("op", "&"), ("ident", "b")]
+
+    def test_line_comments_skipped(self):
+        assert kinds("a // comment here\nb") == [("ident", "a"),
+                                                 ("ident", "b")]
+
+    def test_block_comments_skipped(self):
+        assert kinds("a /* multi\nline */ b") == [("ident", "a"),
+                                                  ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_locations_track_lines(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].location.line == 1
+        assert toks[1].location.line == 2
+        assert toks[1].location.column == 3
+
+    def test_eof_token_last(self):
+        toks = tokenize("x")
+        assert toks[-1].kind == "eof"
+
+    def test_underscore_identifiers(self):
+        assert kinds("_x x_1 __ret") == [("ident", "_x"), ("ident", "x_1"),
+                                         ("ident", "__ret")]

@@ -1,0 +1,141 @@
+"""Tests for the MiniC parser."""
+
+import pytest
+
+from repro.lang import ParseError, parse
+from repro.lang import ast_nodes as ast
+
+
+def parse_func(body: str):
+    prog = parse(f"func main() {{ {body} }}")
+    return prog.functions[0]
+
+
+class TestTopLevel:
+    def test_functions_and_globals(self):
+        prog = parse("""
+            global g;
+            global init = -3;
+            global arr[16];
+            func f(a, b) { return a + b; }
+            func main() { return f(1, 2); }
+        """)
+        assert [f.name for f in prog.functions] == ["f", "main"]
+        assert prog.functions[0].params == ["a", "b"]
+        g, init, arr = prog.globals
+        assert g.name == "g" and g.array_size is None and g.initial == 0
+        assert init.initial == -3
+        assert arr.array_size == 16
+
+    def test_junk_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse("int x;")
+
+
+class TestStatements:
+    def test_assignment(self):
+        func = parse_func("x = 1 + 2;")
+        stmt = func.body[0]
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.target == "x"
+        assert isinstance(stmt.value, ast.BinaryOp)
+
+    def test_array_store_and_read(self):
+        func = parse_func("var a[4]; a[0] = 1; x = a[0];")
+        decl, store, load = func.body
+        assert isinstance(decl, ast.VarArray) and decl.size == 4
+        assert isinstance(store, ast.StoreStmt)
+        assert isinstance(load.value, ast.Index)
+
+    def test_if_else_chain(self):
+        func = parse_func("if (x) { y = 1; } else if (z) { y = 2; } "
+                          "else { y = 3; }")
+        stmt = func.body[0]
+        assert isinstance(stmt, ast.If)
+        inner = stmt.else_body[0]
+        assert isinstance(inner, ast.If)
+        assert isinstance(inner.else_body[0], ast.Assign)
+
+    def test_while_and_control(self):
+        func = parse_func(
+            "while (x < 10) { x = x + 1; if (x == 5) { break; } "
+            "if (x == 2) { continue; } }")
+        loop = func.body[0]
+        assert isinstance(loop, ast.While)
+
+    def test_for_with_all_clauses(self):
+        func = parse_func("for (i = 0; i < 4; i = i + 1) { x = x + i; }")
+        loop = func.body[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.Assign)
+        assert loop.cond is not None and loop.step is not None
+
+    def test_for_with_empty_clauses(self):
+        func = parse_func("for (;;) { break; }")
+        loop = func.body[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_expression_statement(self):
+        func = parse_func("f(1);")
+        stmt = func.body[0]
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.CallExpr)
+
+    def test_return_with_and_without_value(self):
+        func = parse_func("return;")
+        assert func.body[0].value is None
+        func = parse_func("return 4;")
+        assert isinstance(func.body[0].value, ast.Number)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_func("x = 1")
+
+
+class TestExpressions:
+    def _expr(self, text: str):
+        return parse_func(f"x = {text};").body[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_cmp_over_logic(self):
+        expr = self._expr("a < b && c > d")
+        assert isinstance(expr, ast.LogicalOp) and expr.op == "&&"
+        assert expr.left.op == "<"
+
+    def test_logical_or_lower_than_and(self):
+        expr = self._expr("a && b || c")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_parens_override(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_ops(self):
+        expr = self._expr("-x + !y")
+        assert isinstance(expr.left, ast.UnaryOp) and expr.left.op == "-"
+        assert isinstance(expr.right, ast.UnaryOp) and expr.right.op == "!"
+
+    def test_call_with_args(self):
+        expr = self._expr("f(1, g(2), h())")
+        assert isinstance(expr, ast.CallExpr)
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[1], ast.CallExpr)
+
+    def test_index_expression_not_store(self):
+        # `a[i] + 1` as an expression statement must not parse as a store.
+        func = parse_func("var a[4]; x = a[2] + 1;")
+        value = func.body[1].value
+        assert value.op == "+"
+        assert isinstance(value.left, ast.Index)
+
+    def test_left_associativity(self):
+        expr = self._expr("a - b - c")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+        assert expr.left.left.ident == "a"

@@ -1,0 +1,228 @@
+"""Tests for the scalar optimization passes and liveness analysis."""
+
+import pytest
+
+from repro.interp import run_module
+from repro.ir import validate_module
+from repro.lang import compile_source
+from repro.opt import Liveness, cleanup_module
+
+
+def _clean(src):
+    m = compile_source(src)
+    before = run_module(m)
+    cleaned, stats = cleanup_module(m)
+    assert validate_module(cleaned) == []
+    after = run_module(cleaned)
+    assert after.return_value == before.return_value
+    return m, cleaned, stats, before, after
+
+
+class TestConstantFolding:
+    def test_folds_constant_arithmetic(self):
+        _m, cleaned, stats, _b, _a = _clean(
+            "func main() { x = 2 + 3 * 4; return x; }")
+        assert stats.constants_folded >= 2
+        # All arithmetic happened at compile time.
+        from repro.ir.instructions import BinOp
+        main = cleaned.functions["main"]
+        ops = [i for b in main.cfg.blocks.values()
+               for i in b.instructions if isinstance(i, BinOp)]
+        assert ops == []
+
+    def test_folding_matches_interpreter_semantics(self):
+        # C-style truncation and div-by-zero-yields-zero must fold the
+        # same way they execute.
+        for expr in ("-7 / 2", "-7 % 2", "5 / 0", "(1 << 3) + (16 >> 2)"):
+            src = f"func main() {{ return {expr}; }}"
+            _m, _c, _s, before, after = _clean(src)
+            assert before.return_value == after.return_value
+
+    def test_constant_branch_resolved(self):
+        _m, cleaned, stats, _b, _a = _clean("""
+            func main() {
+                if (1 < 2) { x = 10; } else { x = 20; }
+                return x;
+            }""")
+        assert stats.branches_resolved >= 1
+        from repro.ir.instructions import Branch
+        main = cleaned.functions["main"]
+        branches = [i for b in main.cfg.blocks.values()
+                    for i in b.instructions if isinstance(i, Branch)]
+        assert branches == []
+
+    def test_execution_gets_cheaper_never_wronger(self):
+        src = """
+        func main() {
+            s = 0;
+            k = 3 * 7;
+            for (i = 0; i < 50; i = i + 1) {
+                t = k + 1;
+                s = s + t;
+            }
+            return s;
+        }
+        """
+        _m, _c, _s, before, after = _clean(src)
+        assert after.instructions_executed <= before.instructions_executed
+
+
+class TestCopyPropagationAndDce:
+    def test_dead_write_removed(self):
+        _m, cleaned, stats, _b, _a = _clean("""
+            func main() {
+                unused = 12345;
+                x = 1;
+                return x;
+            }""")
+        assert stats.dead_removed >= 1
+        text = str([i for b in cleaned.functions["main"].cfg.blocks.values()
+                    for i in b.instructions])
+        assert "12345" not in text
+
+    def test_call_with_dead_result_kept(self):
+        # The call writes a global: removing it would change behaviour.
+        _m, cleaned, _s, before, after = _clean("""
+            global g;
+            func bump() { g = g + 1; return g; }
+            func main() {
+                dead = bump();
+                return g;
+            }""")
+        assert after.return_value == before.return_value == 1
+
+    def test_store_never_removed(self):
+        _m, cleaned, _s, before, after = _clean("""
+            global buf[4];
+            func main() {
+                buf[1] = 42;
+                return buf[1];
+            }""")
+        assert after.return_value == 42
+
+    def test_copy_chain_propagated(self):
+        _m, _c, stats, _b, _a = _clean("""
+            func main() {
+                a = 7;
+                b = a;
+                c = b;
+                return c + c;
+            }""")
+        assert stats.constants_folded + stats.copies_propagated >= 2
+
+
+class TestJumpThreading:
+    def test_forwarding_block_threaded(self):
+        # Lowering produces endif blocks that just jump; cleanup threads
+        # the edges through them.
+        m, cleaned, stats, _b, _a = _clean("""
+            func main() {
+                x = 0;
+                if (x == 0) { x = 1; } else { x = 2; }
+                if (x == 1) { x = 3; } else { x = 4; }
+                return x;
+            }""")
+        assert cleaned.functions["main"].cfg.num_blocks <= \
+            m.functions["main"].cfg.num_blocks
+
+
+class TestLiveness:
+    def test_params_live_on_entry_when_used(self):
+        m = compile_source("func f(a, b) { return a + b; } "
+                           "func main() { return f(1, 2); }")
+        lv = Liveness(m.functions["f"])
+        entry = m.functions["f"].cfg.entry
+        assert {"a", "b"} <= lv.live_in[entry]
+
+    def test_loop_carried_value_live_around_back_edge(self):
+        m = compile_source("""
+            func main() {
+                s = 0;
+                for (i = 0; i < 5; i = i + 1) { s = s + i; }
+                return s;
+            }""")
+        lv = Liveness(m.functions["main"])
+        # s must be live out of the loop body (read next iteration or
+        # after the loop).
+        body_blocks = [b for b in m.functions["main"].cfg.blocks
+                       if b.startswith("body")]
+        assert any("s" in lv.live_out[b] for b in body_blocks)
+
+    def test_dead_after_last_use(self):
+        m = compile_source("""
+            func main() {
+                t = 5;
+                u = t + 1;
+                return u;
+            }""")
+        lv = Liveness(m.functions["main"])
+        exit_block = m.functions["main"].cfg.exit
+        assert "t" not in lv.live_in[exit_block]
+
+
+class TestBlockMerging:
+    def test_straight_line_collapses_to_one_block(self):
+        m, cleaned, stats, _b, _a = _clean("""
+            func main() {
+                x = 1;
+                y = x + 2;
+                z = y * 3;
+                return z;
+            }""")
+        assert cleaned.functions["main"].cfg.num_blocks == 1
+        assert stats.blocks_merged >= 1
+
+    def test_loop_header_not_merged_into_predecessor(self):
+        _m, cleaned, _s, before, after = _clean("""
+            func main() {
+                s = 0;
+                for (i = 0; i < 5; i = i + 1) { s = s + i; }
+                return s;
+            }""")
+        # The loop must survive: a back edge still exists.
+        from repro.cfg import find_back_edges
+        assert find_back_edges(cleaned.functions["main"].cfg)
+
+    def test_merge_after_superblock_formation(self):
+        # The whole point: straightened superblock chains become single
+        # blocks, giving the folding passes cross-join scope.
+        from repro.opt import form_superblocks
+        from conftest import trace_module
+        src = """
+        func main() {
+            s = 0;
+            for (i = 0; i < 200; i = i + 1) {
+                if (i % 4 == 0) { s = s + 3; } else { s = s + 1; }
+                if (i % 4 == 1) { s = s - 1; } else { s = s + 2; }
+            }
+            return s;
+        }
+        """
+        m = compile_source(src)
+        actual, _p, before = trace_module(m)
+        formed, _fs = form_superblocks(m, actual.hot_paths(0.00125)[:2])
+        cleaned, stats = cleanup_module(formed)
+        after = run_module(cleaned)
+        assert after.return_value == before.return_value
+        assert stats.blocks_merged >= 1
+        assert cleaned.functions["main"].cfg.num_blocks < \
+            formed.functions["main"].cfg.num_blocks
+
+    def test_single_path_routine_skipped_by_tpp(self):
+        # After merging, a straight-line helper is one block with one
+        # path; TPP must treat it as obvious (invocation count suffices).
+        from repro.core import plan_tpp
+        from conftest import trace_module
+        m = compile_source("""
+            func inc(x) { return x + 1; }
+            func main() {
+                s = 0;
+                for (i = 0; i < 50; i = i + 1) { s = inc(s); }
+                return s;
+            }""")
+        cleaned, _stats = cleanup_module(m)
+        _a, profile, _r = trace_module(cleaned)
+        plan = plan_tpp(cleaned, profile)
+        inc = plan.functions["inc"]
+        assert not inc.instrumented
+        assert inc.reason == "all paths obvious"

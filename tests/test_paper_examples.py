@@ -1,0 +1,146 @@
+"""Integration tests pinned to the paper's worked examples.
+
+Figure 3: cold-path poisoning on an 8-path routine -- removing one cold
+edge leaves 4 paths; free poisoning maps cold executions to counter
+indices at or above N=4 so they never corrupt hot counters.
+
+Figure 5: PPP pushes instrumentation through cold edges, which can bill a
+cold execution to a hot path number (the overcount the coverage metric
+penalises).
+
+Figure 7: branch flow is invariant under inlining (tested in
+test_profiles_flow).  Figure 8: definite/potential flow numbers (tested in
+test_profiles_flowsets).
+"""
+
+import pytest
+
+from repro.cfg import build_profiling_dag
+from repro.core import (build_estimated_profile, evaluate_coverage,
+                        measured_paths, number_paths, plan_ppp, plan_tpp,
+                        run_with_plan)
+from repro.lang import compile_source
+
+from conftest import trace_module
+
+# Three sequential diamonds -> 2^3 = 8 paths, like Figure 3's routine.
+# The first diamond's else-arm is cold (taken once in 200 iterations).
+FIG3_LIKE = """
+func work(x) {
+    s = 0;
+    if (x % 200 != 0) { s = s + 1; } else { s = s + 100; }
+    if (x % 2 == 0) { s = s + 2; } else { s = s + 3; }
+    if (x % 3 == 0) { s = s + 4; } else { s = s + 5; }
+    return s;
+}
+func main() {
+    t = 0;
+    for (i = 1; i <= 400; i = i + 1) { t = t + work(i); }
+    return t;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def fig3_env():
+    m = compile_source(FIG3_LIKE)
+    actual, profile, result = trace_module(m)
+    return m, actual, profile, result
+
+
+class TestFigure3ColdPoisoning:
+    def test_eight_paths_before_four_after(self, fig3_env):
+        m, _a, profile, _r = fig3_env
+        func = m.functions["work"]
+        dag = build_profiling_dag(func.cfg)
+        full = number_paths(dag)
+        assert full.total == 8
+        plan = plan_ppp(m, profile)
+        work = plan.functions["work"]
+        assert work.instrumented
+        # The cold arm removes half the paths.
+        assert work.num_paths == 4
+
+    def test_cold_executions_stay_out_of_hot_counters(self, fig3_env):
+        m, actual, profile, result = fig3_env
+        plan = plan_ppp(m, profile)
+        run = run_with_plan(plan)
+        assert run.run.return_value == result.return_value
+        store = run.stores["work"]
+        # 400 calls: 398 hot (x % 200 != 0), 2 cold.
+        hot_total = sum(c for _i, c in store.hot_items())
+        assert hot_total == 398
+        assert store.cold_total() == 2
+
+    def test_hot_counts_match_truth_on_hot_paths(self, fig3_env):
+        m, actual, profile, _r = fig3_env
+        plan = plan_ppp(m, profile)
+        run = run_with_plan(plan)
+        seen = measured_paths(run, "work")
+        truth = actual["work"].counts
+        for blocks, count in seen.items():
+            assert truth.get(blocks) == count
+
+
+class TestFigure5PushOvercount:
+    """A cold edge that rejoins the hot region: PPP's aggressive pushing
+    may count the cold execution as a hot path; the coverage formula
+    subtracts the overcount back out, so coverage stays <= 1."""
+
+    SRC = """
+    func work(x) {
+        s = 0;
+        if (x % 97 == 0) { s = s + 50; }
+        if (x % 2 == 0) { s = s + 1; } else { s = s + 2; }
+        return s;
+    }
+    func main() {
+        t = 0;
+        for (i = 1; i <= 300; i = i + 1) { t = t + work(i); }
+        return t;
+    }
+    """
+
+    def test_overcount_bounded_and_penalised(self):
+        m = compile_source(self.SRC)
+        actual, profile, result = trace_module(m)
+        plan = plan_ppp(m, profile)
+        run = run_with_plan(plan)
+        assert run.run.return_value == result.return_value
+        coverage = evaluate_coverage(run, actual, profile)
+        assert 0.0 <= coverage <= 1.0
+        # Measured flow may exceed actual flow on instrumented paths,
+        # but only by the cold executions (3 of 300 here).
+        if plan.functions["work"].instrumented:
+            seen = measured_paths(run, "work")
+            truth = actual["work"].counts
+            overcount = sum(max(0, c - truth.get(b, 0))
+                            for b, c in seen.items())
+            assert overcount <= 6
+
+    def test_estimated_profile_still_accurate(self):
+        m = compile_source(self.SRC)
+        actual, profile, _r = trace_module(m)
+        plan = plan_ppp(m, profile)
+        run = run_with_plan(plan)
+        est = build_estimated_profile(run, profile)
+        from repro.core import evaluate_accuracy
+        assert evaluate_accuracy(actual, est.flows) >= 0.9
+
+
+class TestTppVsPppColdRemoval:
+    """TPP removes cold paths only to avoid hashing; PPP removes them
+    everywhere (Section 4.6's last paragraph)."""
+
+    def test_small_routine_tpp_keeps_ppp_prunes(self, fig3_env):
+        m, _a, profile, _r = fig3_env
+        tpp = plan_tpp(m, profile)
+        ppp = plan_ppp(m, profile)
+        work_tpp = tpp.functions["work"]
+        work_ppp = ppp.functions["work"]
+        # 8 paths fit the array easily, so TPP removes nothing ...
+        assert work_tpp.cold_cfg == set()
+        if work_tpp.instrumented:
+            assert work_tpp.num_paths == 8
+        # ... while PPP prunes the cold arm regardless.
+        assert work_ppp.cold_cfg != set()

@@ -1,0 +1,175 @@
+"""Symbolic verification of instrumentation placement.
+
+Independent of the interpreter: walk every complete live DAG path,
+execute the placed ops symbolically (path-register sets/adds, counter
+updates), and check the two properties Ball-Larus correctness rests on:
+
+1. every complete live path executes **exactly one** counting operation;
+2. the counted index equals the path's number under the numbering.
+
+Checked on the paper's Figure 8 routine, on loop functions (where the
+back edge carries the merged count+set ops), with cold-edge pruning, and
+under both push modes.
+"""
+
+import pytest
+
+from repro.cfg import ProfilingDag, build_profiling_dag
+from repro.core import (AddReg, CountConst, CountReg, SetReg,
+                        dag_edge_weights, event_count, number_paths,
+                        place_instrumentation, static_edge_weights)
+from repro.lang import compile_source
+
+from conftest import fig8_function
+
+
+def _complete_paths(dag: ProfilingDag, live: set[int]):
+    out = []
+
+    def walk(v, path):
+        if v == dag.dag.exit:
+            out.append(list(path))
+            return
+        for e in dag.dag.out_edges(v):
+            if e.uid in live:
+                path.append(e)
+                walk(e.dst, path)
+                path.pop()
+
+    walk(dag.dag.entry, [])
+    return out
+
+
+def _ops_for_dag_edge(dag: ProfilingDag, placement, edge):
+    """The (count-part, set-part) op streams a DAG edge contributes.
+
+    Real edges map to their CFG edge ops.  An exit dummy contributes the
+    count part of its back edges' merged ops (executed as the old path
+    ends); an entry dummy contributes the set part (executed as the new
+    path starts).
+    """
+    if not edge.dummy:
+        cfg_edge = dag.cfg_edge_for(edge)
+        return placement.edge_ops.get(cfg_edge.uid, [])
+    # Dummy: pick any corresponding back edge; merged ops are
+    # [counts..., sets...] by construction.
+    if dag.is_exit_dummy(edge):
+        backs = dag.back_edges_from(edge.src)
+        ops = placement.edge_ops.get(backs[0].uid, [])
+        return [op for op in ops
+                if isinstance(op, (CountReg, CountConst))]
+    backs = dag.back_edges_into(edge.dst)
+    ops = placement.edge_ops.get(backs[0].uid, [])
+    sets = [op for op in ops if isinstance(op, (SetReg, AddReg))]
+    return sets
+
+
+def _verify(func, cold_pairs=(), push_ignore_cold=False,
+            poison_style="free", max_paths=512):
+    dag = build_profiling_dag(func.cfg)
+    cold_uids = set()
+    for pair in cold_pairs:
+        mirrored = dag.dag_edge_for(func.cfg.edge(*pair))
+        assert mirrored is not None
+        cold_uids.add(mirrored.uid)
+    live = {e.uid for e in dag.dag.edges()} - cold_uids
+    numbering = number_paths(dag, live=live)
+    if numbering.total == 0:
+        pytest.skip("no live paths")
+    weights = dag_edge_weights(dag, static_edge_weights(func.cfg))
+    increments = event_count(dag, live, numbering.val, weights)
+    placement = place_instrumentation(
+        dag, live, increments, numbering.total,
+        push_ignore_cold=push_ignore_cold, poison_style=poison_style)
+
+    paths = _complete_paths(dag, live)
+    assert 0 < len(paths) == numbering.total
+    if len(paths) > max_paths:
+        paths = paths[:max_paths]
+    for path in paths:
+        reg = None
+        counted = []
+        for edge in path:
+            for op in _ops_for_dag_edge(dag, placement, edge):
+                if isinstance(op, SetReg):
+                    reg = op.value
+                elif isinstance(op, AddReg):
+                    assert reg is not None, \
+                        "increment before any initialisation"
+                    reg += op.value
+                elif isinstance(op, CountReg):
+                    assert reg is not None, "count before initialisation"
+                    counted.append(reg + op.add)
+                elif isinstance(op, CountConst):
+                    counted.append(op.value)
+        assert len(counted) == 1, \
+            f"path must count exactly once, got {counted}"
+        assert counted[0] == numbering.number_of(path)
+    return placement
+
+
+class TestSymbolic:
+    def test_fig8(self):
+        _verify(fig8_function())
+
+    def test_fig8_with_cold_edge(self):
+        _verify(fig8_function(), cold_pairs=[("D", "F")])
+        _verify(fig8_function(), cold_pairs=[("D", "F")],
+                push_ignore_cold=True)
+        _verify(fig8_function(), cold_pairs=[("D", "F")],
+                poison_style="check")
+
+    def test_loop_function(self):
+        m = compile_source("""
+            func main() { s = 0;
+                for (i = 0; i < 5; i = i + 1) {
+                    if (i % 2 == 0) { s = s + 1; } else { s = s - 1; }
+                }
+                return s; }""")
+        _verify(m.functions["main"])
+
+    def test_nested_loops(self):
+        m = compile_source("""
+            func main() { s = 0;
+                for (i = 0; i < 4; i = i + 1) {
+                    for (j = 0; j < 4; j = j + 1) {
+                        if (j > i) { s = s + 1; }
+                    }
+                    if (i % 2 == 0) { s = s * 2; }
+                }
+                return s; }""")
+        _verify(m.functions["main"])
+
+    def test_loop_with_cold_body_arm(self):
+        m = compile_source("""
+            func main() { s = 0;
+                for (i = 0; i < 9; i = i + 1) {
+                    if (i == 7) { s = s + 100; } else { s = s + 1; }
+                }
+                return s; }""")
+        func = m.functions["main"]
+        then_edges = [
+            (e.src, e.dst) for e in func.cfg.edges()
+            if e.dst.startswith("then")]
+        _verify(func, cold_pairs=then_edges[:1])
+        _verify(func, cold_pairs=then_edges[:1], push_ignore_cold=True)
+
+    def test_workload_functions(self):
+        from repro.workloads import get_workload
+        module = get_workload("twolf").compile()
+        for func in module.functions.values():
+            dag = build_profiling_dag(func.cfg)
+            if number_paths(dag).total <= 512:
+                _verify(func)
+
+    def test_random_programs(self):
+        from repro.workloads import random_module
+        verified = 0
+        for seed in range(12):
+            module = random_module(seed)
+            for func in module.functions.values():
+                dag = build_profiling_dag(func.cfg)
+                if 0 < number_paths(dag).total <= 256:
+                    _verify(func)
+                    verified += 1
+        assert verified >= 10

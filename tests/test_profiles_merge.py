@@ -1,0 +1,80 @@
+"""Tests for multi-run profile merging (Section 7.2's combined ref runs)
+and instrumentation-fraction monotonicity across techniques."""
+
+import pytest
+
+from repro.core import instrumented_fraction, plan_pp, plan_ppp, plan_tpp
+from repro.interp import Machine, MachineError
+from repro.lang import compile_source
+from repro.profiles import EdgeProfile, PathProfile
+from repro.workloads import random_module
+
+from conftest import SMALL_PROGRAM, trace_module
+
+
+class TestMerging:
+    def test_edge_profile_merge_adds_counts(self):
+        m = compile_source(SMALL_PROGRAM)
+        _a1, p1, _r1 = trace_module(m)
+        _a2, p2, _r2 = trace_module(m)
+        merged = p1.merge(p2)
+        for name, fp in p1.functions.items():
+            mf = merged[name]
+            assert mf.entry_count == 2 * fp.entry_count
+            for uid, count in fp.edge_freq.items():
+                assert mf.edge_freq[uid] == 2 * count
+        assert merged.total_unit_flow() == 2 * p1.total_unit_flow()
+
+    def test_path_profile_merge_adds_counts(self):
+        m = compile_source(SMALL_PROGRAM)
+        a1, _p1, _r1 = trace_module(m)
+        a2, _p2, _r2 = trace_module(m)
+        merged = a1.merge(a2)
+        assert merged.dynamic_paths() == 2 * a1.dynamic_paths()
+        assert merged.distinct_paths() == a1.distinct_paths()
+        assert merged.total_flow("branch") == 2 * a1.total_flow("branch")
+
+    def test_merge_requires_same_module(self):
+        m1 = compile_source(SMALL_PROGRAM)
+        m2 = compile_source(SMALL_PROGRAM)
+        _a1, p1, _r = trace_module(m1)
+        _a2, p2, _r2 = trace_module(m2)
+        with pytest.raises(ValueError):
+            p1.merge(p2)
+
+    def test_merged_profile_plans_like_doubled(self):
+        # Relative criteria: a profile merged with itself must produce
+        # the identical PPP plan (all thresholds are ratios).
+        m = compile_source(SMALL_PROGRAM)
+        _a, profile, _r = trace_module(m)
+        merged = profile.merge(profile)
+        plan1 = plan_ppp(m, profile)
+        plan2 = plan_ppp(m, merged)
+        for name in m.functions:
+            assert plan1.functions[name].instrumented == \
+                plan2.functions[name].instrumented
+            assert plan1.functions[name].num_paths == \
+                plan2.functions[name].num_paths
+
+
+class TestFractionMonotonicity:
+    def test_ppp_never_instruments_more_than_tpp_than_pp(self):
+        checked = 0
+        for seed in range(12):
+            module = random_module(seed)
+            machine = Machine(module, collect_edge_profile=True,
+                              trace_paths=True, max_instructions=300_000)
+            try:
+                result = machine.run()
+            except MachineError:
+                continue
+            actual = PathProfile.from_trace(module, result.path_counts)
+            profile = EdgeProfile.from_run(module, result.edge_counts,
+                                           result.invocations)
+            pp = instrumented_fraction(plan_pp(module), actual)
+            tpp = instrumented_fraction(plan_tpp(module, profile), actual)
+            ppp = instrumented_fraction(plan_ppp(module, profile), actual)
+            assert ppp.instrumented <= tpp.instrumented + 1e-9
+            assert tpp.instrumented <= pp.instrumented + 1e-9
+            checked += 1
+        assert checked >= 6

@@ -1,0 +1,98 @@
+"""Tests for the synthetic workload suite."""
+
+import pytest
+
+from repro.interp import Machine, run_module
+from repro.ir import validate_module
+from repro.workloads import (FP, INT, SUITE, fp_workloads, get_workload,
+                             int_workloads, random_source)
+from repro.lang import compile_source
+
+
+class TestRegistry:
+    def test_eighteen_workloads(self):
+        assert len(SUITE) == 18
+        assert len(int_workloads()) == 8
+        assert len(fp_workloads()) == 10
+
+    def test_names_match_the_paper(self):
+        expected = {"vpr", "mcf", "crafty", "parser", "perlbmk", "gap",
+                    "bzip2", "twolf", "wupwise", "swim", "mgrid", "applu",
+                    "mesa", "art", "equake", "ammp", "sixtrack", "apsi"}
+        assert {w.name for w in SUITE} == expected
+
+    def test_get_workload(self):
+        assert get_workload("vpr").category == INT
+        assert get_workload("swim").category == FP
+        with pytest.raises(KeyError):
+            get_workload("gcc")  # omitted in the paper too
+
+    def test_every_workload_compiles_and_validates(self):
+        for w in SUITE:
+            module = w.compile()
+            assert validate_module(module) == [], w.name
+
+    def test_workloads_are_deterministic(self):
+        w = get_workload("twolf")
+        m1, m2 = w.compile(), w.compile()
+        assert run_module(m1).return_value == run_module(m2).return_value
+
+    def test_scale_stretches_execution(self):
+        w = get_workload("sixtrack")
+        r1 = run_module(w.compile(1))
+        r2 = run_module(w.compile(2))
+        assert r2.instructions_executed > 1.5 * r1.instructions_executed
+
+
+class TestShapes:
+    """Structural expectations that drive the paper's results."""
+
+    def test_crafty_needs_hashing_under_pp(self):
+        from repro.core import plan_pp
+        m = get_workload("crafty").compile()
+        plan = plan_pp(m)
+        assert any(p.use_hash for p in plan.functions.values())
+
+    def test_swim_is_branch_poor(self):
+        from conftest import trace_module
+        m = get_workload("swim").compile()
+        actual, _p, _r = trace_module(m)
+        branches, _ = actual.average_path_stats()
+        assert branches <= 1.5
+
+    def test_int_workloads_are_branchier_than_fp(self):
+        from conftest import trace_module
+        int_b, fp_b = [], []
+        for name in ("twolf", "perlbmk"):
+            actual, _p, _r = trace_module(get_workload(name).compile())
+            b, _ = actual.average_path_stats()
+            int_b.append(b)
+        for name in ("swim", "sixtrack"):
+            actual, _p, _r = trace_module(get_workload(name).compile())
+            b, _ = actual.average_path_stats()
+            fp_b.append(b)
+        assert min(int_b) > max(fp_b)
+
+
+class TestGenerator:
+    def test_same_seed_same_source(self):
+        assert random_source(42) == random_source(42)
+
+    def test_different_seeds_differ(self):
+        assert random_source(1) != random_source(2)
+
+    def test_generated_programs_validate(self):
+        for seed in range(10):
+            module = compile_source(random_source(seed))
+            assert validate_module(module) == []
+
+    def test_generated_programs_run(self):
+        ran = 0
+        for seed in range(10):
+            module = compile_source(random_source(seed))
+            try:
+                run_module(module, max_instructions=300_000)
+                ran += 1
+            except Exception:
+                pass
+        assert ran >= 5  # most seeds stay within bounds
