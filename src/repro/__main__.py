@@ -17,6 +17,9 @@ Subcommands
 ``dot FILE FUNCTION``
     Emit Graphviz DOT for one function's CFG (``--dag`` for its
     profiling DAG with numbering values).
+``cache {info,clear}``
+    Inspect or empty the on-disk artifact cache the experiment harness
+    keeps under ``results/.cache`` (see ``repro.engine``).
 
 Examples::
 
@@ -24,6 +27,7 @@ Examples::
     python -m repro profile program.minic --technique tpp --top 10
     python -m repro disasm program.minic --optimize
     python -m repro dot program.minic main --dag | dot -Tpng > cfg.png
+    python -m repro cache info
 """
 
 from __future__ import annotations
@@ -149,6 +153,27 @@ def cmd_dot(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    from .engine import ArtifactCache
+
+    cache = ArtifactCache(disk_dir=args.dir)
+    files = cache.disk_files()
+    if args.action == "info":
+        by_kind: dict[str, int] = {}
+        for path in files:
+            kind = path.name.split("-", 1)[0]
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        print(f"cache directory: {args.dir}")
+        print(f"artifacts: {len(files)} "
+              f"({cache.disk_size_bytes() / 1024:.1f} KB)")
+        for kind in sorted(by_kind):
+            print(f"  {kind}: {by_kind[kind]}")
+        return 0
+    removed = cache.clear(disk=True)
+    print(f"removed {removed} cached artifacts from {args.dir}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -186,6 +211,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_dot.add_argument("--dag", action="store_true",
                        help="show the profiling DAG with numbering values")
     p_dot.set_defaults(fn=cmd_dot)
+
+    p_cache = sub.add_parser("cache",
+                             help="inspect or clear the artifact cache")
+    p_cache.add_argument("action", choices=("info", "clear"))
+    p_cache.add_argument("--dir", default="results/.cache",
+                         help="cache directory (default results/.cache)")
+    p_cache.set_defaults(fn=cmd_cache)
     return parser
 
 

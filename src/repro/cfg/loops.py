@@ -47,9 +47,15 @@ class Loop:
         return name in self.body
 
     def exit_edges(self, cfg: ControlFlowGraph) -> list[Edge]:
-        """Edges from a block inside the loop to a block outside it."""
+        """Edges from a block inside the loop to a block outside it.
+
+        Iterates members in sorted order: ``body`` is a set, and callers
+        feed the result into block/edge construction, where string-hash
+        iteration order would leak into uid assignment and make plans
+        differ between otherwise identical processes.
+        """
         out: list[Edge] = []
-        for name in self.body:
+        for name in sorted(self.body):
             for edge in cfg.blocks[name].succ_edges:
                 if edge.dst not in self.body:
                     out.append(edge)

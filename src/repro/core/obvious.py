@@ -109,14 +109,16 @@ def loop_body_graph(cfg: ControlFlowGraph, loop: Loop
     mirrored edges back to original CFG edges.
     """
     body = ControlFlowGraph(f"{cfg.name}.loop.{loop.header}")
-    for name in loop.body:
+    # Sorted: loop.body is a set; the mirror graph's block/edge creation
+    # order must not depend on string-hash iteration order.
+    for name in sorted(loop.body):
         body.add_block(name)
     body.add_block(_VIRTUAL_EXIT)
     body.set_entry(loop.header)
     body.set_exit(_VIRTUAL_EXIT)
     mapping: dict[int, Edge] = {}
     exit_sources: set[str] = set()
-    for name in loop.body:
+    for name in sorted(loop.body):
         for edge in cfg.blocks[name].succ_edges:
             if edge.dst in loop.body:
                 mirrored = body.add_edge(edge.src, edge.dst)

@@ -1,0 +1,33 @@
+"""The profiling engine: cached, parallel staging under the harness.
+
+This package decomposes the monolithic per-benchmark methodology into
+explicit stages (:mod:`~repro.engine.stages`) behind a
+:class:`~repro.engine.session.ProfilingSession` facade, with a
+content-addressed :class:`~repro.engine.cache.ArtifactCache` (optional
+on-disk layer for cross-process warmth) and a
+:class:`~repro.engine.parallel.ParallelRunner` that fans independent
+workloads over a process pool.  ``repro.harness`` drives everything
+through a session; the old :func:`repro.harness.run_workload` /
+:func:`repro.harness.run_suite` entry points remain as thin shims.
+"""
+
+from .cache import ArtifactCache, CacheStats, KindStats
+from .fingerprint import (CACHE_SCHEMA_VERSION, fingerprint_config,
+                          fingerprint_edge_profile, fingerprint_module,
+                          fingerprint_text)
+from .parallel import ParallelRunner, WorkloadTask, run_task
+from .results import TECHNIQUES, TechniqueResult, WorkloadResult
+from .session import ProfilingSession, default_session, set_default_session
+from .stages import (assemble_workload_result, compile_stage, expand_stage,
+                     ground_truth, plan_stage, score_technique)
+
+__all__ = [
+    "ArtifactCache", "CacheStats", "KindStats",
+    "CACHE_SCHEMA_VERSION", "fingerprint_config",
+    "fingerprint_edge_profile", "fingerprint_module", "fingerprint_text",
+    "ParallelRunner", "WorkloadTask", "run_task",
+    "TECHNIQUES", "TechniqueResult", "WorkloadResult",
+    "ProfilingSession", "default_session", "set_default_session",
+    "assemble_workload_result", "compile_stage", "expand_stage",
+    "ground_truth", "plan_stage", "score_technique",
+]

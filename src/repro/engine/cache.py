@@ -1,0 +1,227 @@
+"""The content-addressed artifact cache behind :class:`ProfilingSession`.
+
+Artifacts are stored under a ``(kind, key)`` address where ``kind`` names
+the pipeline stage ("compile", "expand", "trace", "plan", "technique",
+"workload") and ``key`` is a content hash from
+:mod:`repro.engine.fingerprint`.  Two layers:
+
+* an **in-memory** dict, always consulted first;
+* an optional **on-disk** layer (one pickle file per artifact under a
+  directory, by convention ``results/.cache/``) that makes repeated CLI
+  and benchmark runs warm across processes.  Writes are atomic
+  (temp file + ``os.replace``) so concurrent worker processes can share
+  a directory; unreadable or truncated files count as misses.
+
+Per-kind hit/miss/store counters are exposed on :attr:`ArtifactCache.stats`
+-- the experiment tests assert on them to prove a warm run performs no
+recompilation or re-interpretation.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+__all__ = ["ArtifactCache", "CacheStats", "KindStats"]
+
+
+@dataclass
+class KindStats:
+    """Counters for one artifact kind."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    disk_hits: int = 0  # subset of ``hits`` served from the disk layer
+
+
+@dataclass
+class CacheStats:
+    """Per-kind counters plus whole-cache aggregates."""
+
+    kinds: dict[str, KindStats] = field(default_factory=dict)
+
+    def of(self, kind: str) -> KindStats:
+        return self.kinds.setdefault(kind, KindStats())
+
+    @property
+    def hits(self) -> int:
+        return sum(k.hits for k in self.kinds.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(k.misses for k in self.kinds.values())
+
+    @property
+    def stores(self) -> int:
+        return sum(k.stores for k in self.kinds.values())
+
+    @property
+    def disk_hits(self) -> int:
+        return sum(k.disk_hits for k in self.kinds.values())
+
+    def summary(self) -> str:
+        parts = []
+        for kind in sorted(self.kinds):
+            ks = self.kinds[kind]
+            parts.append(f"{kind}: {ks.hits} hit / {ks.misses} miss")
+        return "; ".join(parts) if parts else "(no cache traffic)"
+
+
+_MISSING = object()
+
+
+class ArtifactCache:
+    """Content-addressed cache for pipeline artifacts.
+
+    Parameters
+    ----------
+    disk_dir:
+        Directory for the persistent layer; ``None`` keeps the cache
+        purely in-memory.
+    memory:
+        Disable to make every lookup consult only the disk layer (used by
+        ``--no-cache`` together with ``disk_dir=None`` to turn caching
+        into pure pass-through while keeping the counters live).
+    """
+
+    def __init__(self, disk_dir: Optional[os.PathLike | str] = None,
+                 memory: bool = True):
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.memory = memory
+        self._mem: dict[tuple[str, str], object] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def lookup(self, kind: str, key: str) -> object:
+        """The cached artifact, or ``None`` on a miss (counted)."""
+        found, value = self._probe(kind, key)
+        return value if found else None
+
+    def get_or_compute(self, kind: str, key: str,
+                       compute: Callable[[], object]) -> object:
+        """Return the cached artifact, computing and storing it on miss."""
+        found, value = self._probe(kind, key)
+        if found:
+            return value
+        value = compute()
+        self.store(kind, key, value)
+        return value
+
+    def store(self, kind: str, key: str, value: object) -> None:
+        self.stats.of(kind).stores += 1
+        if self.memory:
+            self._mem[(kind, key)] = value
+        if self.disk_dir is not None:
+            self._disk_store(kind, key, value)
+
+    def contains(self, kind: str, key: str) -> bool:
+        """Uncounted peek (used to partition warm/cold work up front)."""
+        if self.memory and (kind, key) in self._mem:
+            return True
+        return self._disk_path(kind, key).is_file() \
+            if self.disk_dir is not None else False
+
+    def _probe(self, kind: str, key: str) -> tuple[bool, object]:
+        ks = self.stats.of(kind)
+        if self.memory:
+            value = self._mem.get((kind, key), _MISSING)
+            if value is not _MISSING:
+                ks.hits += 1
+                return True, value
+        if self.disk_dir is not None:
+            value = self._disk_load(kind, key)
+            if value is not _MISSING:
+                ks.hits += 1
+                ks.disk_hits += 1
+                if self.memory:
+                    self._mem[(kind, key)] = value
+                return True, value
+        ks.misses += 1
+        return False, None
+
+    # ------------------------------------------------------------------
+    # Disk layer
+    # ------------------------------------------------------------------
+
+    def _disk_path(self, kind: str, key: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / f"{kind}-{key}.pkl"
+
+    def _disk_load(self, kind: str, key: str) -> object:
+        path = self._disk_path(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # pickle.load raises nearly anything on corrupt input
+            # (UnpicklingError, EOFError, ValueError, TypeError, ...);
+            # every unreadable file is simply a miss.
+            return _MISSING
+
+    def _disk_store(self, kind: str, key: str, value: object) -> None:
+        assert self.disk_dir is not None
+        try:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.disk_dir, prefix=".tmp-",
+                                       suffix=".pkl")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._disk_path(kind, key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError):
+            # A read-only or full disk degrades to memory-only caching.
+            pass
+
+    # ------------------------------------------------------------------
+    # Management
+    # ------------------------------------------------------------------
+
+    def entry_count(self) -> int:
+        """In-memory entries (the disk layer is counted separately)."""
+        return len(self._mem)
+
+    def disk_files(self) -> list[Path]:
+        if self.disk_dir is None or not self.disk_dir.is_dir():
+            return []
+        return sorted(p for p in self.disk_dir.iterdir()
+                      if p.suffix == ".pkl" and not p.name.startswith("."))
+
+    def disk_size_bytes(self) -> int:
+        total = 0
+        for path in self.disk_files():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def clear(self, disk: bool = False) -> int:
+        """Drop the in-memory layer (and the disk layer when asked).
+
+        Returns the number of entries removed across both layers.
+        """
+        removed = len(self._mem)
+        self._mem.clear()
+        if disk:
+            for path in self.disk_files():
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,107 @@
+"""Process-pool fan-out for independent workloads.
+
+Every workload in a suite run is independent (the methodology is
+per-benchmark), so cold workloads fan out over a
+:mod:`concurrent.futures` process pool.  Results come back in task
+order -- ``Executor.map`` preserves input order -- so suite output is
+deterministic regardless of which worker finishes first.
+
+Robustness over raw speed: anything that prevents the pool from working
+(unpicklable ad-hoc workloads, a sandbox without working semaphores, a
+worker dying) degrades to the serial path, which is always correct.
+Workers share the parent's on-disk cache directory when one is
+configured; writes are atomic, so concurrent stores of the same artifact
+are harmless (last writer wins with identical bytes).
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..core import DEFAULT_CONFIG, ProfilerConfig
+from ..profiles.metrics import HOT_THRESHOLD
+from ..workloads import Workload
+from .results import TECHNIQUES, WorkloadResult
+
+__all__ = ["ParallelRunner", "WorkloadTask", "run_task"]
+
+
+@dataclass(frozen=True)
+class WorkloadTask:
+    """One unit of suite work, shippable to a worker process."""
+
+    workload: Workload
+    scale: int = 1
+    config: ProfilerConfig = DEFAULT_CONFIG
+    techniques: tuple[str, ...] = TECHNIQUES
+    hot_threshold: float = HOT_THRESHOLD
+
+
+def run_task(task: WorkloadTask,
+             disk_dir: Optional[str] = None) -> WorkloadResult:
+    """Execute one task in a fresh session (top-level: pool-importable).
+
+    Each worker gets its own in-memory cache; when the parent session has
+    a disk layer the worker shares it, so stage artifacts computed in
+    workers warm future runs of any process.
+    """
+    from .cache import ArtifactCache
+    from .session import ProfilingSession
+
+    session = ProfilingSession(cache=ArtifactCache(disk_dir=disk_dir))
+    return session.run_workload(task.workload, task.scale,
+                                config=task.config,
+                                techniques=task.techniques,
+                                hot_threshold=task.hot_threshold)
+
+
+def _run_task_payload(payload: tuple[WorkloadTask, Optional[str]]
+                      ) -> WorkloadResult:
+    task, disk_dir = payload
+    return run_task(task, disk_dir)
+
+
+class ParallelRunner:
+    """Deterministically-ordered process-pool map over workload tasks."""
+
+    def __init__(self, jobs: int = 1,
+                 disk_dir: Optional[Path | str] = None):
+        self.jobs = max(1, int(jobs))
+        self.disk_dir = str(disk_dir) if disk_dir is not None else None
+
+    def run(self, tasks: Sequence[WorkloadTask]) -> list[WorkloadResult]:
+        """Results in task order; falls back to serial execution whenever
+        the pool cannot be used."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.jobs <= 1 or len(tasks) == 1:
+            return self._run_serial(tasks)
+        if not self._picklable(tasks):
+            return self._run_serial(tasks)
+        payloads = [(task, self.disk_dir) for task in tasks]
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(tasks))) as pool:
+                return list(pool.map(_run_task_payload, payloads))
+        except (BrokenProcessPool, OSError, PermissionError, ValueError):
+            return self._run_serial(tasks)
+
+    def _run_serial(self, tasks: Sequence[WorkloadTask]
+                    ) -> list[WorkloadResult]:
+        return [run_task(task, self.disk_dir) for task in tasks]
+
+    @staticmethod
+    def _picklable(tasks: Sequence[WorkloadTask]) -> bool:
+        """Ad-hoc workloads (lambda sources, locally-defined factories)
+        cannot cross a process boundary; run those serially."""
+        try:
+            pickle.dumps(tasks)
+            return True
+        except Exception:
+            return False

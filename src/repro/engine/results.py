@@ -1,0 +1,57 @@
+"""Result records shared by the engine, the harness, and the studies.
+
+These are the per-benchmark dataclasses the tables and figures consume.
+They live in the engine (below the harness) so the cache, the parallel
+runner, and the study drivers can all exchange them without import
+cycles; :mod:`repro.harness.runner` re-exports them unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core import ModulePlan, ProfileRun
+from ..ir.function import Module
+from ..opt import OptimizationResult
+from ..profiles import EdgeProfile, PathProfile
+from ..workloads import Workload
+
+TECHNIQUES = ("pp", "tpp", "ppp")
+
+
+@dataclass
+class TechniqueResult:
+    """One technique's scores on one workload."""
+
+    name: str
+    overhead: float
+    accuracy: float
+    coverage: float
+    instrumented_fraction: float
+    hashed_fraction: float
+    static_ops: int
+    functions_instrumented: int
+    plan: Optional[ModulePlan] = field(repr=False, default=None)
+    run: Optional[ProfileRun] = field(repr=False, default=None)
+
+
+@dataclass
+class WorkloadResult:
+    """Everything measured for one workload."""
+
+    workload: Workload
+    original: Module
+    expanded: Module
+    opt: OptimizationResult
+    edge_profile: EdgeProfile
+    actual: PathProfile           # ground truth on the expanded code
+    actual_original: PathProfile  # ground truth on the original code
+    edge_accuracy: float
+    edge_coverage: float
+    techniques: dict[str, TechniqueResult]
+    return_value: object
+
+    @property
+    def category(self) -> str:
+        return self.workload.category

@@ -1,0 +1,290 @@
+"""The :class:`ProfilingSession` facade over the staged pipeline.
+
+A session owns an :class:`~repro.engine.cache.ArtifactCache` and a jobs
+setting, and exposes the per-stage entry points the harness and the
+study drivers use:
+
+* :meth:`compile` / :meth:`expand` / :meth:`trace` -- the front half,
+  each content-addressed on the MiniC source (plus optimizer settings)
+  or the canonical IR text;
+* :meth:`plan` / :meth:`plan_and_score` -- instrumentation planning and
+  scored execution, keyed additionally on the planning profile and the
+  :class:`~repro.core.ProfilerConfig`, which is what lets the ablation /
+  staleness / sampling studies re-plan under variant configs while
+  reusing every upstream artifact;
+* :meth:`run_workload` / :meth:`run_suite` -- the composed per-benchmark
+  methodology, with :meth:`run_suite` optionally fanning cold workloads
+  out over a process pool (deterministic result ordering either way).
+
+``run_workload``'s output is byte-identical to the historic monolithic
+path: the stages are the same code, merely memoised.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core import DEFAULT_CONFIG, ModulePlan, ProfilerConfig
+from ..ir.function import Module
+from ..opt import OptimizationResult
+from ..profiles import EdgeProfile, PathProfile
+from ..profiles.metrics import HOT_THRESHOLD
+from ..workloads import SUITE, Workload
+from .cache import ArtifactCache
+from .fingerprint import (fingerprint_config, fingerprint_edge_profile,
+                          fingerprint_module, fingerprint_text)
+from .results import TECHNIQUES, TechniqueResult, WorkloadResult
+from . import stages
+
+__all__ = ["ProfilingSession", "default_session", "set_default_session"]
+
+
+class ProfilingSession:
+    """Cached, optionally parallel driver for the profiling pipeline.
+
+    Parameters
+    ----------
+    cache:
+        The artifact cache; a fresh in-memory cache by default.
+    jobs:
+        Default process count for :meth:`run_suite` (1 = serial).
+    config / techniques / hot_threshold:
+        Session-wide defaults, overridable per call.
+    """
+
+    def __init__(self, cache: Optional[ArtifactCache] = None, jobs: int = 1,
+                 config: ProfilerConfig = DEFAULT_CONFIG,
+                 techniques: Iterable[str] = TECHNIQUES,
+                 hot_threshold: float = HOT_THRESHOLD):
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.jobs = max(1, int(jobs))
+        self.config = config
+        self.techniques = tuple(techniques)
+        self.hot_threshold = hot_threshold
+
+    @property
+    def stats(self):
+        """The cache's per-kind hit/miss/store counters."""
+        return self.cache.stats
+
+    # ------------------------------------------------------------------
+    # Front-half stages
+    # ------------------------------------------------------------------
+
+    def compile(self, workload: Workload, scale: int = 1) -> Module:
+        """Compile a workload (cached on its generated source text)."""
+        key = fingerprint_text("compile", workload.name, str(scale),
+                               workload.source(scale))
+        return self.cache.get_or_compute(
+            "compile", key, lambda: stages.compile_stage(workload, scale))
+
+    def expand(self, workload: Workload, scale: int = 1,
+               code_bloat: Optional[float] = None) -> OptimizationResult:
+        """Edge-profile-guided expansion of a workload's module."""
+        bloat = workload.code_bloat if code_bloat is None else code_bloat
+        key = fingerprint_text("expand", workload.name, str(scale),
+                               repr(bloat), workload.source(scale))
+        return self.cache.get_or_compute(
+            "expand", key,
+            lambda: stages.expand_stage(self.compile(workload, scale),
+                                        bloat))
+
+    def trace(self, module: Module) -> tuple[PathProfile, EdgeProfile,
+                                             object]:
+        """Ground truth for a module: (path profile, edge profile, rv)."""
+        key = fingerprint_text("trace", fingerprint_module(module))
+        return self.cache.get_or_compute(
+            "trace", key, lambda: stages.ground_truth(module))
+
+    # ------------------------------------------------------------------
+    # Back-half stages
+    # ------------------------------------------------------------------
+
+    def plan(self, technique: str, module: Module,
+             edge_profile: Optional[EdgeProfile] = None,
+             config: Optional[ProfilerConfig] = None) -> ModulePlan:
+        """A cached PP/TPP/PPP instrumentation plan."""
+        cfg = self.config if config is None else config
+        key = fingerprint_text("plan", technique,
+                               fingerprint_module(module),
+                               fingerprint_edge_profile(edge_profile),
+                               fingerprint_config(cfg))
+        return self.cache.get_or_compute(
+            "plan", key,
+            lambda: stages.plan_stage(technique, module, edge_profile, cfg))
+
+    def plan_and_score(self, technique: str, module: Module,
+                       plan_profile: Optional[EdgeProfile],
+                       actual: PathProfile,
+                       score_profile: Optional[EdgeProfile] = None,
+                       config: Optional[ProfilerConfig] = None,
+                       label: Optional[str] = None,
+                       hot_threshold: Optional[float] = None,
+                       expected_return: object = None) -> TechniqueResult:
+        """Plan, execute, and score one technique (the cached unit the
+        studies share).
+
+        ``actual`` must be the ground truth of ``module`` (it is derived
+        state, so it does not contribute to the key).  ``score_profile``
+        defaults to ``plan_profile``; the sampling study passes the true
+        profile there while planning from a degraded one.
+        """
+        cfg = self.config if config is None else config
+        hot = self.hot_threshold if hot_threshold is None else hot_threshold
+        name = label if label is not None else technique
+        score_fp = (fingerprint_edge_profile(score_profile)
+                    if score_profile is not None else "same")
+        scoring = score_profile if score_profile is not None else plan_profile
+        if scoring is None:
+            raise ValueError("scoring needs an edge profile")
+        key = fingerprint_text("technique", name, technique,
+                               fingerprint_module(module),
+                               fingerprint_edge_profile(plan_profile),
+                               score_fp, fingerprint_config(cfg),
+                               repr(hot), repr(expected_return))
+
+        def compute() -> TechniqueResult:
+            plan = self.plan(technique, module, plan_profile, cfg)
+            return stages.score_technique(name, plan, actual, scoring,
+                                          hot, expected_return)
+
+        return self.cache.get_or_compute("technique", key, compute)
+
+    # ------------------------------------------------------------------
+    # Composed per-benchmark methodology
+    # ------------------------------------------------------------------
+
+    def _workload_key(self, workload: Workload, scale: int,
+                      config: ProfilerConfig, techniques: tuple[str, ...],
+                      hot_threshold: float) -> str:
+        return fingerprint_text("workload", workload.name, str(scale),
+                                repr(workload.code_bloat),
+                                workload.source(scale),
+                                fingerprint_config(config),
+                                ",".join(techniques), repr(hot_threshold))
+
+    def run_workload(self, workload: Workload, scale: int = 1,
+                     config: Optional[ProfilerConfig] = None,
+                     techniques: Optional[Iterable[str]] = None,
+                     hot_threshold: Optional[float] = None
+                     ) -> WorkloadResult:
+        """The full per-benchmark methodology, assembled from cached
+        stages (and itself cached as a single artifact)."""
+        cfg = self.config if config is None else config
+        techs = self.techniques if techniques is None else tuple(techniques)
+        hot = self.hot_threshold if hot_threshold is None else hot_threshold
+        key = self._workload_key(workload, scale, cfg, techs, hot)
+        return self.cache.get_or_compute(
+            "workload", key,
+            lambda: self._build_workload_result(workload, scale, cfg,
+                                                techs, hot))
+
+    def _build_workload_result(self, workload: Workload, scale: int,
+                               config: ProfilerConfig,
+                               techniques: tuple[str, ...],
+                               hot_threshold: float) -> WorkloadResult:
+        original = self.compile(workload, scale)
+        opt = self.expand(workload, scale)
+        expanded = opt.module
+        # Table 1's "original code": scalar-optimized, not inlined/unrolled.
+        actual_original, _profile0, _rv0 = self.trace(opt.baseline_module)
+        actual, edge_profile, return_value = self.trace(expanded)
+        results: dict[str, TechniqueResult] = {}
+        for name in techniques:
+            results[name] = self.plan_and_score(
+                name, expanded,
+                None if name == "pp" else edge_profile,
+                actual, score_profile=edge_profile, config=config,
+                hot_threshold=hot_threshold, expected_return=return_value)
+        return stages.assemble_workload_result(
+            workload, original, opt, actual_original, actual, edge_profile,
+            return_value, results, hot_threshold)
+
+    # ------------------------------------------------------------------
+    # Suite driver (serial or process pool)
+    # ------------------------------------------------------------------
+
+    def run_suite(self, workloads: Optional[list[Workload]] = None,
+                  scale: int = 1, config: Optional[ProfilerConfig] = None,
+                  techniques: Optional[Iterable[str]] = None,
+                  verbose: bool = False, jobs: Optional[int] = None
+                  ) -> dict[str, WorkloadResult]:
+        """Run every workload; results keyed by benchmark name, in input
+        order regardless of completion order."""
+        chosen = list(workloads) if workloads is not None else list(SUITE)
+        cfg = self.config if config is None else config
+        techs = self.techniques if techniques is None else tuple(techniques)
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+
+        if jobs > 1 and len(chosen) > 1:
+            return self._run_suite_parallel(chosen, scale, cfg, techs,
+                                            verbose, jobs)
+        out: dict[str, WorkloadResult] = {}
+        for workload in chosen:
+            if verbose:
+                print(f"  running {workload.name} ...", flush=True)
+            out[workload.name] = self.run_workload(workload, scale, cfg,
+                                                   techs)
+        return out
+
+    def _run_suite_parallel(self, chosen: list[Workload], scale: int,
+                            config: ProfilerConfig,
+                            techniques: tuple[str, ...], verbose: bool,
+                            jobs: int) -> dict[str, WorkloadResult]:
+        from .parallel import ParallelRunner, WorkloadTask
+
+        # Serve warm workloads from the cache first; only cold ones are
+        # worth a worker process.
+        hot = self.hot_threshold
+        keys = {w.name: self._workload_key(w, scale, config, techniques,
+                                           hot) for w in chosen}
+        cold = [w for w in chosen
+                if not self.cache.contains("workload", keys[w.name])]
+        if cold and verbose:
+            print(f"  running {len(cold)} workloads across {jobs} "
+                  f"processes ...", flush=True)
+        runner = ParallelRunner(jobs=jobs, disk_dir=self.cache.disk_dir)
+        tasks = [WorkloadTask(w, scale, config, techniques, hot)
+                 for w in cold]
+        fresh = dict(zip((w.name for w in cold), runner.run(tasks)))
+
+        out: dict[str, WorkloadResult] = {}
+        for workload in chosen:
+            if workload.name in fresh:
+                # Count the parallel build as the miss it was, and make
+                # the session warm for the next run.
+                self.cache.stats.of("workload").misses += 1
+                self.cache.store("workload", keys[workload.name],
+                                 fresh[workload.name])
+                out[workload.name] = fresh[workload.name]
+            else:
+                result = self.cache.lookup("workload", keys[workload.name])
+                assert result is not None, \
+                    f"cache entry for {workload.name} vanished"
+                out[workload.name] = result
+        return out
+
+
+# ----------------------------------------------------------------------
+# The process-wide default session (behind the compatibility shims)
+# ----------------------------------------------------------------------
+
+_default: Optional[ProfilingSession] = None
+
+
+def default_session() -> ProfilingSession:
+    """The session the module-level compatibility shims share."""
+    global _default
+    if _default is None:
+        _default = ProfilingSession()
+    return _default
+
+
+def set_default_session(session: Optional[ProfilingSession]
+                        ) -> Optional[ProfilingSession]:
+    """Replace the default session (pass ``None`` to reset); returns the
+    previous one so callers can restore it."""
+    global _default
+    previous = _default
+    _default = session
+    return previous

@@ -1,5 +1,7 @@
 """Experiment harness: regenerates every table and figure of the paper."""
 
+from ..engine import (ArtifactCache, ParallelRunner, ProfilingSession,
+                      default_session, set_default_session)
 from .runner import (TECHNIQUES, TechniqueResult, WorkloadResult,
                      ground_truth, run_suite, run_workload, score_technique)
 from .tables import Table1Row, Table2Row, table1, table1_row, table2, table2_row
@@ -20,6 +22,8 @@ from .json_export import (save_suite_json, suite_to_dict,
 from .report import mean, pct, render_table
 
 __all__ = [
+    "ArtifactCache", "ParallelRunner", "ProfilingSession",
+    "default_session", "set_default_session",
     "TECHNIQUES", "TechniqueResult", "WorkloadResult", "ground_truth",
     "run_suite", "run_workload", "score_technique",
     "Table1Row", "Table2Row", "table1", "table1_row", "table2", "table2_row",

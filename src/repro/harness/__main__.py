@@ -3,7 +3,11 @@
 Experiments: ``table1``, ``table2``, ``fig9``, ``fig10``, ``fig11``,
 ``fig12``, ``fig13``, ``oaat`` (the Section 8.3 one-at-a-time study), or
 ``all``.  ``--scale`` stretches every workload's driver loops;
-``--benchmarks`` restricts the suite.
+``--benchmarks`` restricts the suite.  ``--jobs N`` fans cold workloads
+over N worker processes; results are cached content-addressed under
+``results/.cache/`` (see ``--cache-dir``), so re-running an experiment
+recompiles and re-interprets nothing.  ``--no-cache`` disables both
+cache layers; ``python -m repro cache`` manages the on-disk layer.
 """
 
 from __future__ import annotations
@@ -12,15 +16,28 @@ import argparse
 import sys
 import time
 
+from ..engine import ArtifactCache, ProfilingSession
 from ..workloads import SUITE, get_workload
 from . import (figure9, figure10, figure11, figure12, figure13,
                hpt_table, ifconvert_table, metrics_table, net_table,
-               one_at_a_time, run_suite, sampling_table, superblock_table,
+               one_at_a_time, sampling_table, superblock_table,
                table1, table2)
 
 EXPERIMENTS = ("table1", "table2", "fig9", "fig10", "fig11", "fig12",
                "fig13", "oaat", "net", "superblocks", "ifconvert",
                "metrics", "sampling", "hpt", "all")
+
+DEFAULT_CACHE_DIR = "results/.cache"
+
+
+def build_session(jobs: int = 1, no_cache: bool = False,
+                  cache_dir: str = DEFAULT_CACHE_DIR) -> ProfilingSession:
+    """The session a CLI invocation drives everything through."""
+    if no_cache:
+        cache = ArtifactCache(memory=False)
+    else:
+        cache = ArtifactCache(disk_dir=cache_dir or None)
+    return ProfilingSession(cache=cache, jobs=jobs)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -32,6 +49,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="workload scale factor (default 1)")
     parser.add_argument("--benchmarks", type=str, default="",
                         help="comma-separated benchmark subset")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for cold workloads "
+                             "(default 1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the artifact cache (memory and disk)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        default=DEFAULT_CACHE_DIR,
+                        help="on-disk cache directory (default "
+                             f"{DEFAULT_CACHE_DIR}; empty = memory only)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress output")
     parser.add_argument("--save-dir", metavar="DIR", default="",
@@ -46,12 +72,15 @@ def main(argv: list[str] | None = None) -> int:
     else:
         workloads = SUITE
 
+    session = build_session(jobs=args.jobs, no_cache=args.no_cache,
+                            cache_dir=args.cache_dir)
+
     start = time.time()
     if not args.quiet:
         print(f"running {len(workloads)} workloads at scale "
               f"{args.scale} ...", flush=True)
-    results = run_suite(workloads, scale=args.scale,
-                        verbose=not args.quiet)
+    results = session.run_suite(workloads, scale=args.scale,
+                                verbose=not args.quiet)
 
     wanted = ([args.experiment] if args.experiment != "all"
               else ["table1", "table2", "fig9", "fig10", "fig11", "fig12",
@@ -64,13 +93,13 @@ def main(argv: list[str] | None = None) -> int:
         "fig10": figure10,
         "fig11": figure11,
         "fig12": figure12,
-        "fig13": figure13,
-        "oaat": one_at_a_time,
+        "fig13": lambda r: figure13(r, session=session),
+        "oaat": lambda r: one_at_a_time(r, session=session),
         "net": net_table,
-        "superblocks": superblock_table,
-        "ifconvert": ifconvert_table,
+        "superblocks": lambda r: superblock_table(r, session=session),
+        "ifconvert": lambda r: ifconvert_table(r, session=session),
         "metrics": metrics_table,
-        "sampling": sampling_table,
+        "sampling": lambda r: sampling_table(r, session=session),
         "hpt": hpt_table,
     }
     for name in wanted:
@@ -89,7 +118,11 @@ def main(argv: list[str] | None = None) -> int:
         if not args.quiet:
             print(f"\n[metrics written to {args.json}]")
     if not args.quiet:
-        print(f"\n[{time.time() - start:.1f}s total]")
+        stats = session.stats
+        print(f"\n[cache: {stats.hits} hits, {stats.misses} misses"
+              + (f", {stats.disk_hits} from disk" if stats.disk_hits
+                 else "") + "]")
+        print(f"[{time.time() - start:.1f}s total]")
     return 0
 
 

@@ -13,11 +13,13 @@ techniques the leave-one-out view undervalues.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from ..core import (DEFAULT_CONFIG, ProfilerConfig, plan_ppp,
-                    ppp_config_only, ppp_config_without)
+from ..core import (DEFAULT_CONFIG, ProfilerConfig, ppp_config_only,
+                    ppp_config_without)
+from ..engine import ProfilingSession, default_session
 from .report import render_table
-from .runner import WorkloadResult, score_technique
+from .runner import WorkloadResult
 
 TECHNIQUE_LABELS = ("SAC", "FP", "Push", "SPN", "LC")
 IMPROVEMENT_GATE = 0.05  # Section 8.3: benchmarks where PPP wins by > 5%
@@ -54,8 +56,16 @@ def select_benchmarks(results: dict[str, WorkloadResult],
 
 def leave_one_out(results: dict[str, WorkloadResult],
                   base: ProfilerConfig = DEFAULT_CONFIG,
-                  benchmarks: list[str] | None = None) -> list[AblationRow]:
-    """Re-plan and re-run PPP with each technique disabled."""
+                  benchmarks: list[str] | None = None,
+                  session: Optional[ProfilingSession] = None
+                  ) -> list[AblationRow]:
+    """Re-plan and re-run PPP with each technique disabled.
+
+    Planning and scored execution go through the session: the variant
+    configs key separate cache entries, while ground truth and the edge
+    profile come from the shared suite artifacts.
+    """
+    session = session if session is not None else default_session()
     chosen = benchmarks if benchmarks is not None \
         else select_benchmarks(results)
     rows: list[AblationRow] = []
@@ -64,10 +74,10 @@ def leave_one_out(results: dict[str, WorkloadResult],
         without: dict[str, float] = {}
         for technique in TECHNIQUE_LABELS:
             config = ppp_config_without(technique, base)
-            plan = plan_ppp(r.expanded, r.edge_profile, config)
-            tech = score_technique(f"ppp-{technique}", plan, r.actual,
-                                   r.edge_profile,
-                                   expected_return=r.return_value)
+            tech = session.plan_and_score(
+                "ppp", r.expanded, r.edge_profile, r.actual,
+                config=config, label=f"ppp-{technique}",
+                expected_return=r.return_value)
             without[technique] = tech.overhead
         rows.append(AblationRow(
             benchmark=name,
@@ -79,8 +89,9 @@ def leave_one_out(results: dict[str, WorkloadResult],
 
 
 def figure13(results: dict[str, WorkloadResult],
-             base: ProfilerConfig = DEFAULT_CONFIG) -> str:
-    rows = leave_one_out(results, base)
+             base: ProfilerConfig = DEFAULT_CONFIG,
+             session: Optional[ProfilingSession] = None) -> str:
+    rows = leave_one_out(results, base, session=session)
     headers = (["Benchmark", "PPP"]
                + [f"no {t}" for t in TECHNIQUE_LABELS])
     cells = []
@@ -103,9 +114,11 @@ def figure13(results: dict[str, WorkloadResult],
 def one_at_a_time(results: dict[str, WorkloadResult],
                   base: ProfilerConfig = DEFAULT_CONFIG,
                   techniques: tuple[str, ...] = ("LC", "SPN"),
-                  benchmarks: list[str] | None = None) -> str:
+                  benchmarks: list[str] | None = None,
+                  session: Optional[ProfilingSession] = None) -> str:
     """Section 8.3's alternative view: TPP-equivalent PPP plus exactly one
     technique, reported as overhead relative to the none-enabled config."""
+    session = session if session is not None else default_session()
     chosen = benchmarks if benchmarks is not None \
         else select_benchmarks(results)
     headers = ["Benchmark", "none"] + list(techniques)
@@ -113,18 +126,17 @@ def one_at_a_time(results: dict[str, WorkloadResult],
     for name in chosen:
         r = results[name]
         line: list[object] = [name]
-        base_plan = plan_ppp(r.expanded, r.edge_profile,
-                             ppp_config_only("none", base))
-        base_tech = score_technique("ppp-none", base_plan, r.actual,
-                                    r.edge_profile,
-                                    expected_return=r.return_value)
+        base_tech = session.plan_and_score(
+            "ppp", r.expanded, r.edge_profile, r.actual,
+            config=ppp_config_only("none", base), label="ppp-none",
+            expected_return=r.return_value)
         line.append(f"{base_tech.overhead * 100:.1f}%")
         for technique in techniques:
-            plan = plan_ppp(r.expanded, r.edge_profile,
-                            ppp_config_only(technique, base))
-            tech = score_technique(f"ppp+{technique}", plan, r.actual,
-                                   r.edge_profile,
-                                   expected_return=r.return_value)
+            tech = session.plan_and_score(
+                "ppp", r.expanded, r.edge_profile, r.actual,
+                config=ppp_config_only(technique, base),
+                label=f"ppp+{technique}",
+                expected_return=r.return_value)
             line.append(f"{tech.overhead * 100:.1f}%")
         cells.append(line)
     if not cells:

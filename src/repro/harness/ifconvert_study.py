@@ -13,12 +13,12 @@ executing both arms.  This study reports both sides per workload:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from ..core import (build_estimated_profile, evaluate_accuracy, plan_ppp,
-                    run_with_plan)
+from ..engine import ProfilingSession, default_session
 from ..opt.ifconvert import if_convert_module
 from .report import render_table
-from .runner import WorkloadResult, ground_truth
+from .runner import WorkloadResult
 
 
 @dataclass
@@ -33,34 +33,38 @@ class IfConvertComparison:
     accuracy_after: float
 
 
-def compare_ifconvert(result: WorkloadResult) -> IfConvertComparison:
+def compare_ifconvert(result: WorkloadResult,
+                      session: Optional[ProfilingSession] = None
+                      ) -> IfConvertComparison:
+    session = session if session is not None else default_session()
     module = result.expanded
     converted, stats = if_convert_module(module, result.edge_profile)
-    actual_after, profile_after, rv = ground_truth(converted)
+    actual_after, profile_after, rv = session.trace(converted)
     assert rv == result.return_value, \
         "if-conversion changed behaviour"
-    plan = plan_ppp(converted, profile_after)
-    run = run_with_plan(plan)
-    estimated = build_estimated_profile(run, profile_after)
+    tech = session.plan_and_score("ppp", converted, profile_after,
+                                  actual_after, expected_return=rv)
+    assert tech.run is not None
     before_cost = result.techniques["ppp"].run.run.costs.base
-    after_cost = run.run.costs.base
+    after_cost = tech.run.run.costs.base
     return IfConvertComparison(
         benchmark=result.workload.name,
         diamonds_converted=stats.diamonds_converted,
         distinct_before=result.actual.distinct_paths(),
         distinct_after=actual_after.distinct_paths(),
         ppp_overhead_before=result.techniques["ppp"].overhead,
-        ppp_overhead_after=run.overhead,
+        ppp_overhead_after=tech.overhead,
         baseline_growth=(after_cost / before_cost - 1.0
                          if before_cost else 0.0),
-        accuracy_after=evaluate_accuracy(actual_after, estimated.flows),
+        accuracy_after=tech.accuracy,
     )
 
 
-def ifconvert_table(results: dict[str, WorkloadResult]) -> str:
+def ifconvert_table(results: dict[str, WorkloadResult],
+                    session: Optional[ProfilingSession] = None) -> str:
     rows = []
     for name, result in results.items():
-        cmp = compare_ifconvert(result)
+        cmp = compare_ifconvert(result, session=session)
         rows.append([
             cmp.benchmark, cmp.diamonds_converted,
             cmp.distinct_before, cmp.distinct_after,

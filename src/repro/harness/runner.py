@@ -1,161 +1,53 @@
-"""End-to-end experiment runner.
+"""End-to-end experiment runner (compatibility layer).
 
 One :func:`run_workload` call does everything the paper's methodology
 does for one benchmark: compile it, perform edge-profile-guided inlining
 and unrolling (Section 7.3), collect the ground-truth path profile and the
 edge profile of the expanded code, plan and execute PP/TPP/PPP
 instrumentation, and score accuracy / coverage / overhead / instrumented
-fraction.  Results are plain dataclasses the table and figure drivers
-share.
+fraction.
+
+The implementation now lives in :mod:`repro.engine`: the flow is
+decomposed into cached stages behind a
+:class:`~repro.engine.ProfilingSession`, and :func:`run_workload` /
+:func:`run_suite` are thin shims over the process-wide default session.
+Existing callers keep working unchanged; new code (and anything that
+wants cache control or a process pool) should construct a session
+directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from ..core import (DEFAULT_CONFIG, ModulePlan, ProfileRun, ProfilerConfig,
-                    build_estimated_profile, edge_profile_estimate,
-                    evaluate_accuracy, evaluate_coverage,
-                    evaluate_edge_coverage, instrumented_fraction, plan_pp,
-                    plan_ppp, plan_tpp, run_with_plan)
-from ..interp import Machine
-from ..ir.function import Module
-from ..opt import OptimizationResult, expand_module
-from ..profiles import EdgeProfile, PathProfile
+from ..core import DEFAULT_CONFIG, ProfilerConfig
+from ..engine import (TECHNIQUES, TechniqueResult, WorkloadResult,
+                      default_session, ground_truth, score_technique)
 from ..profiles.metrics import HOT_THRESHOLD
-from ..workloads import SUITE, Workload
+from ..workloads import Workload
 
-TECHNIQUES = ("pp", "tpp", "ppp")
-
-
-@dataclass
-class TechniqueResult:
-    """One technique's scores on one workload."""
-
-    name: str
-    overhead: float
-    accuracy: float
-    coverage: float
-    instrumented_fraction: float
-    hashed_fraction: float
-    static_ops: int
-    functions_instrumented: int
-    plan: ModulePlan = field(repr=False, default=None)  # type: ignore
-    run: ProfileRun = field(repr=False, default=None)   # type: ignore
-
-
-@dataclass
-class WorkloadResult:
-    """Everything measured for one workload."""
-
-    workload: Workload
-    original: Module
-    expanded: Module
-    opt: OptimizationResult
-    edge_profile: EdgeProfile
-    actual: PathProfile           # ground truth on the expanded code
-    actual_original: PathProfile  # ground truth on the original code
-    edge_accuracy: float
-    edge_coverage: float
-    techniques: dict[str, TechniqueResult]
-    return_value: object
-
-    @property
-    def category(self) -> str:
-        return self.workload.category
-
-
-def ground_truth(module: Module) -> tuple[PathProfile, EdgeProfile, object]:
-    """Trace the module once: path profile, edge profile, return value."""
-    machine = Machine(module, collect_edge_profile=True, trace_paths=True)
-    result = machine.run()
-    assert result.path_counts is not None
-    assert result.edge_counts is not None and result.invocations is not None
-    actual = PathProfile.from_trace(module, result.path_counts)
-    profile = EdgeProfile.from_run(module, result.edge_counts,
-                                   result.invocations)
-    return actual, profile, result.return_value
-
-
-def score_technique(name: str, plan: ModulePlan, actual: PathProfile,
-                    edge_profile: EdgeProfile,
-                    hot_threshold: float = HOT_THRESHOLD,
-                    expected_return: object = None) -> TechniqueResult:
-    """Execute a plan and compute every per-technique metric."""
-    run = run_with_plan(plan)
-    if expected_return is not None \
-            and run.run.return_value != expected_return:
-        raise AssertionError(
-            f"{name} instrumentation changed behaviour: "
-            f"{expected_return!r} -> {run.run.return_value!r}")
-    estimated = build_estimated_profile(run, edge_profile)
-    fraction = instrumented_fraction(plan, actual)
-    return TechniqueResult(
-        name=name,
-        overhead=run.overhead,
-        accuracy=evaluate_accuracy(actual, estimated.flows, hot_threshold),
-        coverage=evaluate_coverage(run, actual, edge_profile),
-        instrumented_fraction=fraction.instrumented,
-        hashed_fraction=fraction.hashed,
-        static_ops=plan.static_ops(),
-        functions_instrumented=len(plan.instrumented_functions()),
-        plan=plan,
-        run=run,
-    )
+__all__ = [
+    "TECHNIQUES", "TechniqueResult", "WorkloadResult", "ground_truth",
+    "run_suite", "run_workload", "score_technique",
+]
 
 
 def run_workload(workload: Workload, scale: int = 1,
                  config: ProfilerConfig = DEFAULT_CONFIG,
                  techniques: Iterable[str] = TECHNIQUES,
                  hot_threshold: float = HOT_THRESHOLD) -> WorkloadResult:
-    """The full per-benchmark methodology; see the module docstring."""
-    original = workload.compile(scale)
-    opt = expand_module(original, code_bloat=workload.code_bloat)
-    expanded = opt.module
-    # Table 1's "original code": scalar-optimized, not inlined/unrolled.
-    actual_original, _profile0, _rv0 = ground_truth(opt.baseline_module)
-    actual, edge_profile, return_value = ground_truth(expanded)
-
-    results: dict[str, TechniqueResult] = {}
-    for name in techniques:
-        if name == "pp":
-            plan = plan_pp(expanded, config)
-        elif name == "tpp":
-            plan = plan_tpp(expanded, edge_profile, config)
-        elif name == "ppp":
-            plan = plan_ppp(expanded, edge_profile, config)
-        else:
-            raise ValueError(f"unknown technique {name!r}")
-        results[name] = score_technique(name, plan, actual, edge_profile,
-                                        hot_threshold, return_value)
-
-    edge_est = edge_profile_estimate(expanded, edge_profile)
-    return WorkloadResult(
-        workload=workload,
-        original=original,
-        expanded=expanded,
-        opt=opt,
-        edge_profile=edge_profile,
-        actual=actual,
-        actual_original=actual_original,
-        edge_accuracy=evaluate_accuracy(actual, edge_est, hot_threshold),
-        edge_coverage=evaluate_edge_coverage(actual, edge_profile),
-        techniques=results,
-        return_value=return_value,
-    )
+    """The full per-benchmark methodology via the default session."""
+    return default_session().run_workload(
+        workload, scale, config=config, techniques=techniques,
+        hot_threshold=hot_threshold)
 
 
 def run_suite(workloads: Optional[list[Workload]] = None, scale: int = 1,
               config: ProfilerConfig = DEFAULT_CONFIG,
               techniques: Iterable[str] = TECHNIQUES,
-              verbose: bool = False) -> dict[str, WorkloadResult]:
+              verbose: bool = False,
+              jobs: int = 1) -> dict[str, WorkloadResult]:
     """Run every workload; returns results keyed by benchmark name."""
-    chosen = workloads if workloads is not None else SUITE
-    out: dict[str, WorkloadResult] = {}
-    for workload in chosen:
-        if verbose:
-            print(f"  running {workload.name} ...", flush=True)
-        out[workload.name] = run_workload(workload, scale, config,
-                                          techniques)
-    return out
+    return default_session().run_suite(
+        workloads, scale=scale, config=config, techniques=techniques,
+        verbose=verbose, jobs=jobs)

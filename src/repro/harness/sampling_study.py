@@ -12,9 +12,9 @@ deployable in the setting the paper targets.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from ..core import (build_estimated_profile, evaluate_accuracy,
-                    evaluate_coverage, plan_ppp, run_with_plan)
+from ..engine import ProfilingSession, default_session
 from ..profiles.sampling import sample_edge_profile
 from .report import render_table
 from .runner import WorkloadResult
@@ -33,34 +33,38 @@ class SamplingRow:
 
 def sampling_study(result: WorkloadResult,
                    rates: tuple[float, ...] = DEFAULT_RATES,
-                   seed: int = 1) -> list[SamplingRow]:
+                   seed: int = 1,
+                   session: Optional[ProfilingSession] = None
+                   ) -> list[SamplingRow]:
+    session = session if session is not None else default_session()
     rows = []
     for rate in rates:
         profile = (result.edge_profile if rate >= 1.0
                    else sample_edge_profile(result.edge_profile, rate,
                                             seed))
-        plan = plan_ppp(result.expanded, profile)
-        run = run_with_plan(plan)
-        assert run.run.return_value == result.return_value
         # Scoring always uses the *true* edge profile and ground truth;
         # only the planning input was degraded.
-        estimated = build_estimated_profile(run, result.edge_profile)
+        tech = session.plan_and_score(
+            "ppp", result.expanded, profile, result.actual,
+            score_profile=result.edge_profile,
+            label=f"ppp-sampled-1/{int(1 / rate):d}",
+            expected_return=result.return_value)
         rows.append(SamplingRow(
             benchmark=result.workload.name,
             rate=rate,
-            accuracy=evaluate_accuracy(result.actual, estimated.flows),
-            coverage=evaluate_coverage(run, result.actual,
-                                       result.edge_profile),
-            overhead=run.overhead,
+            accuracy=tech.accuracy,
+            coverage=tech.coverage,
+            overhead=tech.overhead,
         ))
     return rows
 
 
 def sampling_table(results: dict[str, WorkloadResult],
-                   rates: tuple[float, ...] = DEFAULT_RATES) -> str:
+                   rates: tuple[float, ...] = DEFAULT_RATES,
+                   session: Optional[ProfilingSession] = None) -> str:
     cells = []
     for name, result in results.items():
-        for row in sampling_study(result, rates):
+        for row in sampling_study(result, rates, session=session):
             cells.append([row.benchmark, f"1/{int(1 / row.rate):d}",
                           f"{row.accuracy * 100:.0f}%",
                           f"{row.coverage * 100:.0f}%",

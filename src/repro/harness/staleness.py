@@ -15,13 +15,12 @@ have identical CFGs (only loop-bound constants differ).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from ..core import (build_estimated_profile, evaluate_accuracy,
-                    evaluate_coverage, plan_ppp, run_with_plan)
+from ..engine import ProfilingSession, default_session
 from ..profiles.serialize import (edge_profile_from_dict,
                                   edge_profile_to_dict)
 from .report import render_table
-from .runner import ground_truth
 from ..workloads import Workload
 
 
@@ -37,7 +36,9 @@ class StalenessRow:
 
 
 def staleness_study(workload: Workload, small_scale: int = 1,
-                    big_scale: int = 2) -> StalenessRow:
+                    big_scale: int = 2,
+                    session: Optional[ProfilingSession] = None
+                    ) -> StalenessRow:
     """Fresh (self) advice vs stale (small-run) advice on one workload.
 
     Works on the unexpanded modules: inlining/unrolling decisions depend
@@ -45,10 +46,11 @@ def staleness_study(workload: Workload, small_scale: int = 1,
     and the profile could not transfer.  (Scale only changes loop-bound
     constants, so the unexpanded CFGs are identical.)
     """
-    small_module = workload.compile(small_scale)
-    big_module = workload.compile(big_scale)
-    _sa, small_profile, _sr = ground_truth(small_module)
-    actual, fresh_profile, _rv = ground_truth(big_module)
+    session = session if session is not None else default_session()
+    small_module = session.compile(workload, small_scale)
+    big_module = session.compile(workload, big_scale)
+    _sa, small_profile, _sr = session.trace(small_module)
+    actual, fresh_profile, _rv = session.trace(big_module)
 
     # Transfer the small run's edge profile onto the big module.
     stale_profile = edge_profile_from_dict(
@@ -57,14 +59,12 @@ def staleness_study(workload: Workload, small_scale: int = 1,
     rows = {}
     for label, profile in (("fresh", fresh_profile),
                            ("stale", stale_profile)):
-        plan = plan_ppp(big_module, profile)
-        run = run_with_plan(plan)
-        est = build_estimated_profile(run, fresh_profile)
-        rows[label] = (
-            evaluate_accuracy(actual, est.flows),
-            evaluate_coverage(run, actual, fresh_profile),
-            run.overhead,
-        )
+        # Plan from the (possibly stale) advice; score everything against
+        # the big run's own ground truth and fresh profile.
+        tech = session.plan_and_score(
+            "ppp", big_module, profile, actual,
+            score_profile=fresh_profile, label=f"ppp-{label}-advice")
+        rows[label] = (tech.accuracy, tech.coverage, tech.overhead)
     return StalenessRow(
         benchmark=workload.name,
         fresh_accuracy=rows["fresh"][0], stale_accuracy=rows["stale"][0],
@@ -73,10 +73,11 @@ def staleness_study(workload: Workload, small_scale: int = 1,
     )
 
 
-def staleness_table(workloads: list[Workload]) -> str:
+def staleness_table(workloads: list[Workload],
+                    session: Optional[ProfilingSession] = None) -> str:
     rows = []
     for workload in workloads:
-        r = staleness_study(workload)
+        r = staleness_study(workload, session=session)
         rows.append([r.benchmark,
                      f"{r.fresh_accuracy * 100:.0f}%",
                      f"{r.stale_accuracy * 100:.0f}%",

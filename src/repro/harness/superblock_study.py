@@ -15,11 +15,11 @@ hot paths, so the superblocks they seed straighten the wrong code.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..core import build_estimated_profile, edge_profile_estimate
-from ..interp.machine import Machine
+from ..engine import ProfilingSession, default_session
 from ..opt.superblock import form_superblocks, merge_crossings
-from ..profiles.edge_profile import EdgeProfile
 from .report import render_table
 from .runner import WorkloadResult
 
@@ -46,15 +46,11 @@ class SuperblockComparison:
         return 1.0 - self.edge_crossings / self.baseline_crossings
 
 
-def _profile_of(module, args=()) -> EdgeProfile:
-    machine = Machine(module, collect_edge_profile=True)
-    result = machine.run(args=args)
-    return EdgeProfile.from_run(module, result.edge_counts,
-                                result.invocations)
-
-
 def compare_superblocks(result: WorkloadResult, top_n: int = 12,
-                        growth_budget: float = 0.5) -> SuperblockComparison:
+                        growth_budget: float = 0.5,
+                        session: Optional[ProfilingSession] = None
+                        ) -> SuperblockComparison:
+    session = session if session is not None else default_session()
     module = result.expanded
     baseline = merge_crossings(module, result.edge_profile)
 
@@ -67,11 +63,10 @@ def compare_superblocks(result: WorkloadResult, top_n: int = 12,
                  for (name, blocks), flow in ppp_ranked]
     ppp_module, ppp_stats = form_superblocks(module, ppp_paths,
                                              growth_budget)
-    ppp_result = Machine(ppp_module).run()
-    base_result = Machine(module).run()
-    assert ppp_result.return_value == base_result.return_value, \
+    _pa, ppp_profile, ppp_rv = session.trace(ppp_module)
+    assert ppp_rv == result.return_value, \
         "superblock formation changed behaviour"
-    ppp_after = merge_crossings(ppp_module, _profile_of(ppp_module))
+    ppp_after = merge_crossings(ppp_module, ppp_profile)
 
     # (b) edge-profile-guided: potential-flow estimate, same budget.
     edge_flows = edge_profile_estimate(module, result.edge_profile)
@@ -81,9 +76,9 @@ def compare_superblocks(result: WorkloadResult, top_n: int = 12,
                   for (name, blocks), flow in edge_ranked]
     edge_module, edge_stats = form_superblocks(module, edge_paths,
                                                growth_budget)
-    edge_result = Machine(edge_module).run()
-    assert edge_result.return_value == base_result.return_value
-    edge_after = merge_crossings(edge_module, _profile_of(edge_module))
+    _ea, edge_profile, edge_rv = session.trace(edge_module)
+    assert edge_rv == result.return_value
+    edge_after = merge_crossings(edge_module, edge_profile)
 
     return SuperblockComparison(
         benchmark=result.workload.name,
@@ -96,10 +91,11 @@ def compare_superblocks(result: WorkloadResult, top_n: int = 12,
 
 
 def superblock_table(results: dict[str, WorkloadResult],
-                     top_n: int = 12) -> str:
+                     top_n: int = 12,
+                     session: Optional[ProfilingSession] = None) -> str:
     rows = []
     for name, result in results.items():
-        cmp = compare_superblocks(result, top_n)
+        cmp = compare_superblocks(result, top_n, session=session)
         rows.append([cmp.benchmark,
                      f"{cmp.baseline_crossings:.0f}",
                      f"{cmp.ppp_reduction * 100:.0f}%",

@@ -95,9 +95,11 @@ def _unroll_loop(blocks: dict[str, list[Instr]], loop: Loop,
     # jumps to copy 1's header.
     for k in range(1, factor):
         next_header = header if k == factor - 1 else copy_name(header, k + 1)
-        table = {bname: copy_name(bname, k) for bname in loop.body}
+        # Sorted: body is a set, and the iteration order here decides the
+        # order copied blocks enter the function (hence edge uids).
+        table = {bname: copy_name(bname, k) for bname in sorted(loop.body)}
         table[header] = copy_name(header, k)
-        for bname in loop.body:
+        for bname in sorted(loop.body):
             retable = dict(table)
             if bname == latch:
                 retable[header] = next_header

@@ -1,0 +1,167 @@
+"""Unit tests for the engine's content-addressed artifact cache."""
+
+import pickle
+
+import pytest
+
+from repro.engine import (ArtifactCache, CACHE_SCHEMA_VERSION,
+                          fingerprint_config, fingerprint_edge_profile,
+                          fingerprint_module, fingerprint_text, ground_truth)
+from repro.core import DEFAULT_CONFIG, ppp_config_without
+from repro.workloads import get_workload
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+
+def test_fingerprint_text_deterministic_and_part_sensitive():
+    assert fingerprint_text("a", "b") == fingerprint_text("a", "b")
+    assert fingerprint_text("a", "b") != fingerprint_text("ab")
+    assert fingerprint_text("a", "b") != fingerprint_text("b", "a")
+    assert str(CACHE_SCHEMA_VERSION)  # version participates in every key
+
+
+def test_fingerprint_module_tracks_content():
+    module = get_workload("mcf").compile(1)
+    again = get_workload("mcf").compile(1)
+    other = get_workload("bzip2").compile(1)
+    assert fingerprint_module(module) == fingerprint_module(again)
+    assert fingerprint_module(module) != fingerprint_module(other)
+
+
+def test_fingerprint_edge_profile_is_content_addressed():
+    # Two independent runs of the same program (distinct Module objects,
+    # hence distinct block uids) fingerprint identically; a different
+    # program fingerprints differently; None is its own sentinel.
+    _a1, profile, _r1 = ground_truth(get_workload("mcf").compile(1))
+    _a2, same, _r2 = ground_truth(get_workload("mcf").compile(1))
+    _a3, diff, _r3 = ground_truth(get_workload("bzip2").compile(1))
+    assert fingerprint_edge_profile(profile) == fingerprint_edge_profile(same)
+    assert fingerprint_edge_profile(profile) != fingerprint_edge_profile(diff)
+    assert fingerprint_edge_profile(None) != fingerprint_edge_profile(profile)
+
+
+def test_fingerprint_config_separates_variants():
+    assert fingerprint_config(DEFAULT_CONFIG) == \
+        fingerprint_config(DEFAULT_CONFIG)
+    assert fingerprint_config(DEFAULT_CONFIG) != \
+        fingerprint_config(ppp_config_without("LC"))
+
+
+# ----------------------------------------------------------------------
+# Memory layer + counters
+# ----------------------------------------------------------------------
+
+def test_memory_hit_miss_store_counters():
+    cache = ArtifactCache()
+    calls = []
+    value = cache.get_or_compute("compile", "k1",
+                                 lambda: calls.append(1) or "artifact")
+    assert value == "artifact" and calls == [1]
+    value = cache.get_or_compute("compile", "k1",
+                                 lambda: calls.append(2) or "recomputed")
+    assert value == "artifact" and calls == [1]  # no recompute on hit
+    ks = cache.stats.of("compile")
+    assert (ks.hits, ks.misses, ks.stores, ks.disk_hits) == (1, 1, 1, 0)
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    assert "compile: 1 hit / 1 miss" in cache.stats.summary()
+
+
+def test_lookup_and_contains():
+    cache = ArtifactCache()
+    assert cache.lookup("trace", "missing") is None
+    cache.store("trace", "present", 42)
+    assert cache.lookup("trace", "present") == 42
+    # contains() is an uncounted peek.
+    before = cache.stats.of("trace").hits
+    assert cache.contains("trace", "present")
+    assert not cache.contains("trace", "missing")
+    assert cache.stats.of("trace").hits == before
+
+
+def test_memory_disabled_is_pass_through():
+    cache = ArtifactCache(memory=False)
+    cache.store("plan", "k", "v")
+    assert cache.lookup("plan", "k") is None  # nothing retained
+    assert cache.entry_count() == 0
+    ks = cache.stats.of("plan")
+    assert ks.stores == 1 and ks.misses == 1
+
+
+def test_clear_memory():
+    cache = ArtifactCache()
+    cache.store("workload", "k", object())
+    assert cache.entry_count() == 1
+    assert cache.clear() == 1
+    assert cache.entry_count() == 0
+
+
+# ----------------------------------------------------------------------
+# Disk layer
+# ----------------------------------------------------------------------
+
+def test_disk_round_trip_across_instances(tmp_path):
+    first = ArtifactCache(disk_dir=tmp_path / "cache")
+    first.store("expand", "deadbeef", {"blocks": [1, 2, 3]})
+    assert len(first.disk_files()) == 1
+    assert first.disk_size_bytes() > 0
+
+    second = ArtifactCache(disk_dir=tmp_path / "cache")
+    assert second.contains("expand", "deadbeef")
+    assert second.lookup("expand", "deadbeef") == {"blocks": [1, 2, 3]}
+    ks = second.stats.of("expand")
+    assert ks.hits == 1 and ks.disk_hits == 1
+    # The disk hit was promoted into memory: next probe is memory-served.
+    assert second.lookup("expand", "deadbeef") == {"blocks": [1, 2, 3]}
+    assert second.stats.of("expand").disk_hits == 1
+
+
+@pytest.mark.parametrize("junk", [b"not a pickle", b"garbage\n", b"\x80"])
+def test_corrupt_disk_entry_is_a_miss(tmp_path, junk):
+    # pickle.load raises different exception types depending on the junk
+    # (UnpicklingError, ValueError, EOFError, ...): all must read as a miss.
+    cache = ArtifactCache(disk_dir=tmp_path)
+    cache.store("trace", "abc", [1, 2])
+    path, = cache.disk_files()
+    path.write_bytes(junk)
+    fresh = ArtifactCache(disk_dir=tmp_path)
+    assert fresh.lookup("trace", "abc") is None
+    assert fresh.stats.of("trace").misses == 1
+
+
+def test_truncated_disk_entry_is_a_miss(tmp_path):
+    cache = ArtifactCache(disk_dir=tmp_path)
+    cache.store("trace", "abc", list(range(100)))
+    path, = cache.disk_files()
+    raw = path.read_bytes()
+    path.write_bytes(raw[:len(raw) // 2])
+    fresh = ArtifactCache(disk_dir=tmp_path)
+    assert fresh.lookup("trace", "abc") is None
+
+
+def test_disk_files_skip_temp_names(tmp_path):
+    cache = ArtifactCache(disk_dir=tmp_path)
+    cache.store("plan", "k", 1)
+    (tmp_path / ".tmp-leftover.pkl").write_bytes(b"")
+    (tmp_path / "notes.txt").write_text("ignored")
+    assert [p.name for p in cache.disk_files()] == ["plan-k.pkl"]
+
+
+def test_clear_disk(tmp_path):
+    cache = ArtifactCache(disk_dir=tmp_path)
+    cache.store("compile", "a", 1)
+    cache.store("compile", "b", 2)
+    removed = cache.clear(disk=True)
+    assert removed == 4  # 2 memory entries + 2 disk files
+    assert cache.disk_files() == []
+
+
+def test_unwritable_disk_degrades_to_memory(tmp_path, monkeypatch):
+    cache = ArtifactCache(disk_dir=tmp_path / "cache")
+    monkeypatch.setattr(pickle, "dump",
+                        lambda *a, **k: (_ for _ in ()).throw(
+                            pickle.PicklingError("boom")))
+    cache.store("plan", "k", "v")
+    assert cache.lookup("plan", "k") == "v"  # memory layer still serves
+    assert cache.disk_files() == []

@@ -1,0 +1,178 @@
+"""End-to-end equivalence tests for the ProfilingSession engine layer.
+
+The acceptance bar for the engine refactor: a cached session run and a
+parallel session run must reproduce the cold serial ``run_workload``
+results exactly (same dicts, same rendered tables), and a warm re-run
+must perform no recompilation or re-interpretation -- proven via the
+cache's per-kind counters.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.engine import (ArtifactCache, ParallelRunner, ProfilingSession,
+                          WorkloadTask)
+from repro.harness import figure9, run_workload, table2
+from repro.harness.json_export import workload_result_to_dict
+from repro.workloads import get_workload
+
+# Three suite workloads with different categories / shapes.
+NAMES = ("mcf", "crafty", "bzip2")
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def as_dict(result):
+    # Canonical JSON form: uid-free, covers profiles, plans and scores.
+    return json.loads(json.dumps(workload_result_to_dict(result)))
+
+
+@pytest.fixture(scope="module")
+def serial_baseline():
+    """Cold serial runs through the compatibility shim."""
+    return {name: run_workload(get_workload(name)) for name in NAMES}
+
+
+def test_warm_session_matches_cold_serial(serial_baseline):
+    session = ProfilingSession(cache=ArtifactCache())
+    cold = {n: session.run_workload(get_workload(n)) for n in NAMES}
+    stats = session.cache.stats
+    cold_traffic = {kind: (stats.of(kind).hits, stats.of(kind).misses)
+                    for kind in ("compile", "expand", "trace", "plan",
+                                 "technique")}
+
+    warm = {n: session.run_workload(get_workload(n)) for n in NAMES}
+    for name in NAMES:
+        assert as_dict(cold[name]) == as_dict(serial_baseline[name]), name
+        # Warm lookups return the identical cached artifact.
+        assert warm[name] is cold[name], name
+
+    # The warm pass was served entirely from the workload-level entries:
+    # no compilation, expansion, tracing or planning happened again.
+    assert stats.of("workload").hits == len(NAMES)
+    assert stats.of("workload").misses == len(NAMES)
+    for kind, traffic in cold_traffic.items():
+        assert (stats.of(kind).hits, stats.of(kind).misses) == traffic, kind
+    # Rendered reports agree byte-for-byte with the legacy path.
+    assert table2(cold) == table2(serial_baseline)
+    assert figure9(cold) == figure9(serial_baseline)
+
+
+def test_parallel_runner_matches_cold_serial(serial_baseline):
+    runner = ParallelRunner(jobs=2)
+    results = runner.run([WorkloadTask(workload=get_workload(n))
+                          for n in NAMES])
+    assert [r.workload.name for r in results] == list(NAMES)  # input order
+    for name, result in zip(NAMES, results):
+        assert as_dict(result) == as_dict(serial_baseline[name]), name
+
+
+def test_run_suite_parallel_matches_serial(serial_baseline):
+    session = ProfilingSession(cache=ArtifactCache())
+    results = session.run_suite([get_workload(n) for n in NAMES], jobs=2)
+    assert list(results) == list(NAMES)
+    for name in NAMES:
+        assert as_dict(results[name]) == as_dict(serial_baseline[name]), name
+    assert session.cache.stats.of("workload").misses == len(NAMES)
+
+
+def test_disk_cache_warms_fresh_session(tmp_path, serial_baseline):
+    name = NAMES[0]
+    first = ProfilingSession(cache=ArtifactCache(disk_dir=tmp_path))
+    first.run_workload(get_workload(name))
+
+    second = ProfilingSession(cache=ArtifactCache(disk_dir=tmp_path))
+    result = second.run_workload(get_workload(name))
+    assert as_dict(result) == as_dict(serial_baseline[name])
+    stats = second.cache.stats
+    assert stats.of("workload").hits == 1
+    assert stats.of("workload").disk_hits == 1
+    assert stats.misses == 0  # nothing recomputed anywhere
+
+
+def test_uncached_session_still_correct(serial_baseline):
+    session = ProfilingSession(cache=ArtifactCache(memory=False))
+    name = NAMES[0]
+    first = session.run_workload(get_workload(name))
+    again = session.run_workload(get_workload(name))
+    assert as_dict(first) == as_dict(serial_baseline[name])
+    assert as_dict(again) == as_dict(serial_baseline[name])
+    assert session.cache.stats.hits == 0
+
+
+def test_variant_config_does_not_hit_base_entries(serial_baseline):
+    from repro.core import ppp_config_without
+    session = ProfilingSession(cache=ArtifactCache())
+    base = session.run_workload(get_workload(NAMES[0]))
+    tech = session.plan_and_score(
+        "ppp", base.expanded, base.edge_profile, base.actual,
+        config=ppp_config_without("LC"), label="ppp-LC",
+        expected_return=base.return_value)
+    assert tech.plan is not None and tech.run is not None
+    # The variant planned fresh (different config fingerprint) but reused
+    # the module and profiles without re-tracing anything.
+    assert session.cache.stats.of("technique").misses == \
+        len(session.techniques) + 1
+    assert session.cache.stats.of("trace").misses == 2  # baseline + expanded
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+
+def run_cli(*argv, cwd):
+    return subprocess.run(
+        [sys.executable, *argv], cwd=cwd, capture_output=True, text=True,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"})
+
+
+def test_cli_harness_jobs_and_cache_flags(tmp_path):
+    cache_dir = tmp_path / "cache"
+    warmup = run_cli("-m", "repro.harness", "table2", "--benchmarks", "mcf",
+                     "--cache-dir", str(cache_dir), cwd=tmp_path)
+    assert warmup.returncode == 0, warmup.stderr
+    assert "Table 2" in warmup.stdout
+    assert "[cache:" in warmup.stdout
+    assert cache_dir.is_dir() and any(cache_dir.iterdir())
+
+    warm = run_cli("-m", "repro.harness", "table2", "--benchmarks", "mcf",
+                   "--jobs", "2", "--cache-dir", str(cache_dir),
+                   cwd=tmp_path)
+    assert warm.returncode == 0, warm.stderr
+    assert "from disk" in warm.stdout
+
+    def table_lines(text):
+        return [ln for ln in text.splitlines()
+                if not ln.startswith("[") and ln.strip()]
+    assert table_lines(warmup.stdout) == table_lines(warm.stdout)
+
+    nocache = run_cli("-m", "repro.harness", "table2", "--benchmarks", "mcf",
+                      "--no-cache", cwd=tmp_path)
+    assert nocache.returncode == 0, nocache.stderr
+    assert table_lines(nocache.stdout) == table_lines(warmup.stdout)
+
+
+def test_cli_cache_info_and_clear(tmp_path):
+    cache_dir = tmp_path / "cache"
+    seed = run_cli("-m", "repro.harness", "table1", "--benchmarks", "mcf",
+                   "--cache-dir", str(cache_dir), cwd=tmp_path)
+    assert seed.returncode == 0, seed.stderr
+
+    info = run_cli("-m", "repro", "cache", "info", "--dir", str(cache_dir),
+                   cwd=tmp_path)
+    assert info.returncode == 0, info.stderr
+    assert "workload" in info.stdout
+
+    clear = run_cli("-m", "repro", "cache", "clear", "--dir", str(cache_dir),
+                    cwd=tmp_path)
+    assert clear.returncode == 0, clear.stderr
+    assert not list(cache_dir.glob("*.pkl"))
+
+    empty = run_cli("-m", "repro", "cache", "info", "--dir", str(cache_dir),
+                    cwd=tmp_path)
+    assert empty.returncode == 0
