@@ -12,7 +12,11 @@ knobs tune it:
 
 * ``REPRO_JOBS`` -- worker processes for the suite run (default 1);
 * ``REPRO_CACHE_DIR`` -- optional on-disk artifact cache directory, which
-  makes repeated benchmark sessions start warm.
+  makes repeated benchmark sessions start warm;
+* ``REPRO_BACKEND`` -- interpreter backend (``compiled`` by default;
+  ``tuple`` re-runs every figure on the reference interpreter).  The
+  backend is part of the cache fingerprint, so the two never share
+  execution artifacts.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ def profiling_session():
         cache=ArtifactCache(disk_dir=os.environ.get("REPRO_CACHE_DIR")
                             or None),
         jobs=int(os.environ.get("REPRO_JOBS", "1") or "1"),
+        backend=os.environ.get("REPRO_BACKEND") or None,
     )
     # Studies called without an explicit session (e.g. through helper
     # wrappers) should hit the same cache rather than a cold default.

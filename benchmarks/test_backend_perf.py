@@ -1,0 +1,48 @@
+"""Backend throughput benchmarks: compiled vs. tuple interpreter.
+
+Times a branchy integer workload (twolf) and a loop-heavy floating-point
+workload (swim) on both execution backends, plus the profile+trace
+observation mode the ground-truth stage uses, so the benchmark report
+(group 'backend') shows where the compiled backend's speedup comes from.
+Like the wallclock group, no ratio is asserted here -- the enforced perf
+gate lives in ``scripts/bench.py`` (run by CI with ``--smoke``), and the
+semantic equivalence gate in ``tests/test_interp_backends.py``.
+"""
+
+import pytest
+
+from repro.interp import Machine
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module", params=("twolf", "swim"))
+def workload_module(request):
+    module = get_workload(request.param).compile()
+    # Warm the codegen cache so the benchmark measures steady-state
+    # execution, not one-time source generation.
+    Machine(module, backend="compiled").run()
+    Machine(module, collect_edge_profile=True, trace_paths=True,
+            backend="compiled").run()
+    return module
+
+
+@pytest.mark.benchmark(group="backend")
+def test_backend_tuple_plain(workload_module, benchmark):
+    benchmark(lambda: Machine(workload_module, backend="tuple").run())
+
+
+@pytest.mark.benchmark(group="backend")
+def test_backend_compiled_plain(workload_module, benchmark):
+    benchmark(lambda: Machine(workload_module, backend="compiled").run())
+
+
+@pytest.mark.benchmark(group="backend")
+def test_backend_tuple_traced(workload_module, benchmark):
+    benchmark(lambda: Machine(workload_module, collect_edge_profile=True,
+                              trace_paths=True, backend="tuple").run())
+
+
+@pytest.mark.benchmark(group="backend")
+def test_backend_compiled_traced(workload_module, benchmark):
+    benchmark(lambda: Machine(workload_module, collect_edge_profile=True,
+                              trace_paths=True, backend="compiled").run())

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Interpreter throughput benchmark: ops/sec per workload, both backends.
+
+Runs every workload in the stock suite on the tuple and compiled
+backends, measures interpreted IR instructions per second (best of
+``--repeats`` timed runs, after an untimed warm-up that also populates
+the codegen cache), and writes ``BENCH_interp.json``:
+
+    {
+      "schema": 1,
+      "scale": 1,
+      "mode": "plain",
+      "workloads": {
+        "mcf": {"instructions": ..., "tuple_ops_per_sec": ...,
+                 "compiled_ops_per_sec": ..., "speedup": ...},
+        ...
+      },
+      "geomean_speedup": ...,
+      "min_speedup": ...
+    }
+
+Subsequent PRs diff this file to track the perf trajectory; CI runs
+``--smoke --min-speedup 1.0`` as a regression gate (fail if the compiled
+backend is ever slower than the reference interpreter).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py                # full suite
+    PYTHONPATH=src python scripts/bench.py --smoke        # 4 workloads
+    PYTHONPATH=src python scripts/bench.py --min-speedup 3.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.interp import Machine, VALID_BACKENDS  # noqa: E402
+from repro.workloads import SUITE, get_workload  # noqa: E402
+
+# A branchy/loopy/call-heavy cross-section for the CI smoke gate.
+SMOKE_WORKLOADS = ("vpr", "mcf", "parser", "swim")
+
+
+def ops_per_sec(module, backend: str, repeats: int, profile: bool,
+                trace: bool) -> tuple[float, int]:
+    """Best-of-N interpreted ops/sec for one module on one backend."""
+
+    def once() -> tuple[float, int]:
+        machine = Machine(module, collect_edge_profile=profile,
+                          trace_paths=trace, backend=backend)
+        start = time.perf_counter()
+        result = machine.run()
+        elapsed = time.perf_counter() - start
+        return elapsed, result.instructions_executed
+
+    once()  # warm-up: codegen cache, branch predictors, allocator
+    best, instructions = min(once() for _ in range(max(1, repeats)))
+    return instructions / best, instructions
+
+
+def run_bench(names: list[str], scale: int, repeats: int, profile: bool,
+              trace: bool) -> dict:
+    workloads: dict[str, dict] = {}
+    speedups: list[float] = []
+    for name in names:
+        module = get_workload(name).compile(scale)
+        rates = {backend: ops_per_sec(module, backend, repeats, profile,
+                                      trace)
+                 for backend in VALID_BACKENDS}
+        speedup = rates["compiled"][0] / rates["tuple"][0]
+        speedups.append(speedup)
+        workloads[name] = {
+            "instructions": rates["tuple"][1],
+            "tuple_ops_per_sec": round(rates["tuple"][0], 1),
+            "compiled_ops_per_sec": round(rates["compiled"][0], 1),
+            "speedup": round(speedup, 3),
+        }
+        print(f"  {name:10s} tuple {rates['tuple'][0] / 1e6:7.2f} Mops/s   "
+              f"compiled {rates['compiled'][0] / 1e6:7.2f} Mops/s   "
+              f"{speedup:5.2f}x", flush=True)
+    geomean = math.exp(sum(map(math.log, speedups)) / len(speedups))
+    return {
+        "schema": 1,
+        "scale": scale,
+        "mode": ("profile+trace" if trace else
+                 "profile" if profile else "plain"),
+        "workloads": workloads,
+        "geomean_speedup": round(geomean, 3),
+        "min_speedup": round(min(speedups), 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark interpreter backends over the workload "
+                    "suite and write BENCH_interp.json.")
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"only {', '.join(SMOKE_WORKLOADS)} (CI gate)")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload scale factor (default 1)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs per measurement; best is kept")
+    parser.add_argument("--profiled", action="store_true",
+                        help="measure the profile+trace observation mode "
+                             "instead of plain execution")
+    parser.add_argument("--out", default="BENCH_interp.json",
+                        help="output path (default BENCH_interp.json)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        metavar="X",
+                        help="exit non-zero if any workload's compiled/"
+                             "tuple ratio falls below X")
+    args = parser.parse_args(argv)
+
+    names = (list(SMOKE_WORKLOADS) if args.smoke
+             else [w.name for w in SUITE])
+    print(f"benchmarking {len(names)} workloads at scale {args.scale} "
+          f"({args.repeats} repeats) ...", flush=True)
+    report = run_bench(names, args.scale, args.repeats,
+                       profile=args.profiled, trace=args.profiled)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"geomean speedup: {report['geomean_speedup']:.2f}x   "
+          f"min: {report['min_speedup']:.2f}x")
+    print(f"[written to {args.out}]")
+
+    if args.min_speedup is not None \
+            and report["min_speedup"] < args.min_speedup:
+        print(f"FAIL: min speedup {report['min_speedup']:.2f}x is below "
+              f"the required {args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,7 +65,8 @@ def _load(path: str):
 
 def cmd_run(args) -> int:
     module = _load(args.file)
-    result = run_module(module, max_instructions=args.max_instructions)
+    result = run_module(module, max_instructions=args.max_instructions,
+                        backend=args.backend)
     print(f"return value: {result.return_value}")
     print(f"instructions: {result.instructions_executed}")
     return 0
@@ -73,7 +74,7 @@ def cmd_run(args) -> int:
 
 def cmd_profile(args) -> int:
     module = _load(args.file)
-    actual, fresh_profile, _rv = ground_truth(module)
+    actual, fresh_profile, _rv = ground_truth(module, backend=args.backend)
     if args.edge_profile:
         with open(args.edge_profile) as handle:
             edge_profile = load_edge_profile(handle, module)
@@ -89,7 +90,7 @@ def cmd_profile(args) -> int:
                "tpp": lambda: plan_tpp(module, edge_profile),
                "ppp": lambda: plan_ppp(module, edge_profile)}
     plan = planner[args.technique]()
-    run = run_with_plan(plan)
+    run = run_with_plan(plan, backend=args.backend)
 
     print(f"\ntechnique: {args.technique.upper()}   "
           f"overhead: {run.overhead * 100:.1f}% (cost model)")
@@ -180,13 +181,19 @@ def build_parser() -> argparse.ArgumentParser:
         description="Path profiling for MiniC programs (PPP / TPP / PP).")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    backend_kwargs = dict(
+        choices=("compiled", "tuple"), default=None,
+        help="interpreter backend (default: $REPRO_BACKEND or compiled)")
+
     p_run = sub.add_parser("run", help="compile and execute a program")
     p_run.add_argument("file")
     p_run.add_argument("--max-instructions", type=int, default=500_000_000)
+    p_run.add_argument("--backend", **backend_kwargs)
     p_run.set_defaults(fn=cmd_run)
 
     p_prof = sub.add_parser("profile", help="path-profile a program")
     p_prof.add_argument("file")
+    p_prof.add_argument("--backend", **backend_kwargs)
     p_prof.add_argument("--technique", choices=("pp", "tpp", "ppp"),
                         default="ppp")
     p_prof.add_argument("--top", type=int, default=10,

@@ -325,10 +325,11 @@ class ProfileRun:
 
 def run_with_plan(plan: ModulePlan, args: tuple = (),
                   cost_model: CostModel = DEFAULT_COSTS,
-                  max_instructions: int = 500_000_000) -> ProfileRun:
+                  max_instructions: int = 500_000_000,
+                  backend: str | None = None) -> ProfileRun:
     """Execute the module's main with the plan's instrumentation attached."""
     machine = Machine(plan.module, cost_model=cost_model,
-                      max_instructions=max_instructions)
+                      max_instructions=max_instructions, backend=backend)
     stores: dict[str, CounterStore] = {}
     for name, fplan in plan.functions.items():
         if not fplan.instrumented or fplan.placement is None:

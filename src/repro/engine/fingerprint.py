@@ -26,7 +26,8 @@ from ..profiles.serialize import edge_profile_to_dict
 # Bump whenever the meaning of any cached artifact changes (planner
 # semantics, result dataclass layout, ...); it salts every key, so old
 # on-disk entries simply stop matching instead of being misread.
-CACHE_SCHEMA_VERSION = 1
+# 2: execution-stage keys carry the interpreter backend.
+CACHE_SCHEMA_VERSION = 2
 
 _SEP = "\x1f"  # unit separator: cannot appear in the joined parts
 

@@ -40,6 +40,9 @@ class WorkloadTask:
     config: ProfilerConfig = DEFAULT_CONFIG
     techniques: tuple[str, ...] = TECHNIQUES
     hot_threshold: float = HOT_THRESHOLD
+    # None lets the worker resolve REPRO_BACKEND itself; sessions always
+    # pass their already-resolved backend so parent and workers agree.
+    backend: Optional[str] = None
 
 
 def run_task(task: WorkloadTask,
@@ -53,7 +56,8 @@ def run_task(task: WorkloadTask,
     from .cache import ArtifactCache
     from .session import ProfilingSession
 
-    session = ProfilingSession(cache=ArtifactCache(disk_dir=disk_dir))
+    session = ProfilingSession(cache=ArtifactCache(disk_dir=disk_dir),
+                               backend=task.backend)
     return session.run_workload(task.workload, task.scale,
                                 config=task.config,
                                 techniques=task.techniques,

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from ..core import DEFAULT_CONFIG, ModulePlan, ProfilerConfig
+from ..interp import resolve_backend
 from ..ir.function import Module
 from ..opt import OptimizationResult
 from ..profiles import EdgeProfile, PathProfile
@@ -50,17 +51,25 @@ class ProfilingSession:
         Default process count for :meth:`run_suite` (1 = serial).
     config / techniques / hot_threshold:
         Session-wide defaults, overridable per call.
+    backend:
+        Execution backend for every machine the session's stages build
+        (``None`` resolves ``REPRO_BACKEND`` / the default once, at
+        construction).  Both backends produce identical artifacts, but
+        the backend is still part of every execution-stage cache key so
+        a cached result always names the code path that produced it.
     """
 
     def __init__(self, cache: Optional[ArtifactCache] = None, jobs: int = 1,
                  config: ProfilerConfig = DEFAULT_CONFIG,
                  techniques: Iterable[str] = TECHNIQUES,
-                 hot_threshold: float = HOT_THRESHOLD):
+                 hot_threshold: float = HOT_THRESHOLD,
+                 backend: Optional[str] = None):
         self.cache = cache if cache is not None else ArtifactCache()
         self.jobs = max(1, int(jobs))
         self.config = config
         self.techniques = tuple(techniques)
         self.hot_threshold = hot_threshold
+        self.backend = resolve_backend(backend)
 
     @property
     def stats(self):
@@ -92,9 +101,11 @@ class ProfilingSession:
     def trace(self, module: Module) -> tuple[PathProfile, EdgeProfile,
                                              object]:
         """Ground truth for a module: (path profile, edge profile, rv)."""
-        key = fingerprint_text("trace", fingerprint_module(module))
+        key = fingerprint_text("trace", fingerprint_module(module),
+                               self.backend)
         return self.cache.get_or_compute(
-            "trace", key, lambda: stages.ground_truth(module))
+            "trace", key,
+            lambda: stages.ground_truth(module, backend=self.backend))
 
     # ------------------------------------------------------------------
     # Back-half stages
@@ -141,12 +152,14 @@ class ProfilingSession:
                                fingerprint_module(module),
                                fingerprint_edge_profile(plan_profile),
                                score_fp, fingerprint_config(cfg),
-                               repr(hot), repr(expected_return))
+                               repr(hot), repr(expected_return),
+                               self.backend)
 
         def compute() -> TechniqueResult:
             plan = self.plan(technique, module, plan_profile, cfg)
             return stages.score_technique(name, plan, actual, scoring,
-                                          hot, expected_return)
+                                          hot, expected_return,
+                                          backend=self.backend)
 
         return self.cache.get_or_compute("technique", key, compute)
 
@@ -161,7 +174,8 @@ class ProfilingSession:
                                 repr(workload.code_bloat),
                                 workload.source(scale),
                                 fingerprint_config(config),
-                                ",".join(techniques), repr(hot_threshold))
+                                ",".join(techniques), repr(hot_threshold),
+                                self.backend)
 
     def run_workload(self, workload: Workload, scale: int = 1,
                      config: Optional[ProfilerConfig] = None,
@@ -244,7 +258,8 @@ class ProfilingSession:
             print(f"  running {len(cold)} workloads across {jobs} "
                   f"processes ...", flush=True)
         runner = ParallelRunner(jobs=jobs, disk_dir=self.cache.disk_dir)
-        tasks = [WorkloadTask(w, scale, config, techniques, hot)
+        tasks = [WorkloadTask(w, scale, config, techniques, hot,
+                              self.backend)
                  for w in cold]
         fresh = dict(zip((w.name for w in cold), runner.run(tasks)))
 

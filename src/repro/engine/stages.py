@@ -47,9 +47,12 @@ def expand_stage(module: Module, code_bloat: float) -> OptimizationResult:
 # Stage: profile (ground truth)
 # ----------------------------------------------------------------------
 
-def ground_truth(module: Module) -> tuple[PathProfile, EdgeProfile, object]:
+def ground_truth(module: Module,
+                 backend: str | None = None
+                 ) -> tuple[PathProfile, EdgeProfile, object]:
     """Trace the module once: path profile, edge profile, return value."""
-    machine = Machine(module, collect_edge_profile=True, trace_paths=True)
+    machine = Machine(module, collect_edge_profile=True, trace_paths=True,
+                      backend=backend)
     result = machine.run()
     assert result.path_counts is not None
     assert result.edge_counts is not None and result.invocations is not None
@@ -87,9 +90,10 @@ def plan_stage(technique: str, module: Module,
 def score_technique(name: str, plan: ModulePlan, actual: PathProfile,
                     edge_profile: EdgeProfile,
                     hot_threshold: float = HOT_THRESHOLD,
-                    expected_return: object = None) -> TechniqueResult:
+                    expected_return: object = None,
+                    backend: str | None = None) -> TechniqueResult:
     """Execute a plan and compute every per-technique metric."""
-    run = run_with_plan(plan)
+    run = run_with_plan(plan, backend=backend)
     if expected_return is not None \
             and run.run.return_value != expected_return:
         raise AssertionError(

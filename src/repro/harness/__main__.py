@@ -31,13 +31,14 @@ DEFAULT_CACHE_DIR = "results/.cache"
 
 
 def build_session(jobs: int = 1, no_cache: bool = False,
-                  cache_dir: str = DEFAULT_CACHE_DIR) -> ProfilingSession:
+                  cache_dir: str = DEFAULT_CACHE_DIR,
+                  backend: str | None = None) -> ProfilingSession:
     """The session a CLI invocation drives everything through."""
     if no_cache:
         cache = ArtifactCache(memory=False)
     else:
         cache = ArtifactCache(disk_dir=cache_dir or None)
-    return ProfilingSession(cache=cache, jobs=jobs)
+    return ProfilingSession(cache=cache, jobs=jobs, backend=backend)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -54,6 +55,10 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 1 = serial)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the artifact cache (memory and disk)")
+    parser.add_argument("--backend", choices=("compiled", "tuple"),
+                        default=None,
+                        help="interpreter backend (default: $REPRO_BACKEND "
+                             "or compiled)")
     parser.add_argument("--cache-dir", metavar="DIR",
                         default=DEFAULT_CACHE_DIR,
                         help="on-disk cache directory (default "
@@ -73,7 +78,7 @@ def main(argv: list[str] | None = None) -> int:
         workloads = SUITE
 
     session = build_session(jobs=args.jobs, no_cache=args.no_cache,
-                            cache_dir=args.cache_dir)
+                            cache_dir=args.cache_dir, backend=args.backend)
 
     start = time.time()
     if not args.quiet:

@@ -1,0 +1,396 @@
+"""Python source generation for the compiled execution backend.
+
+Each sealed IR function is translated into generated Python source --
+compiled once with :func:`compile`/``exec`` -- and driven by the
+trampoline in :mod:`repro.interp.compiled`.  Register accesses become
+constant-index list subscripts, block transitions become precomputed
+integer segment ids, and the observation channels (edge-profile
+counting, path tracing, edge hooks, the path listener) are *fused into
+the block-exit code only when enabled*: a machine built without
+profiling emits no counting code at all, so the common fast path carries
+zero per-instruction or per-edge conditionals.
+
+The unit of generation is the *segment*: the run of instructions from a
+block start (or from a call-return point inside a block) up to the next
+call or the block terminator.  To keep control transfers off the
+trampoline, the emitter then chases the CFG from each segment's exit:
+
+* jump/branch targets are **inlined** (code duplication, bounded by a
+  per-segment instruction budget) so a whole loop iteration -- including
+  internal if/else diamonds -- usually becomes straight-line Python;
+* an edge back to the segment's own start block compiles to a native
+  ``continue`` of the segment's ``while True:`` wrapper, so hot loops
+  spin entirely inside one generated function;
+* calls, cycles through other blocks, and budget exhaustion fall back to
+  returning a precomputed integer segment id to the trampoline.
+
+Instruction accounting lives in the generated code: every exit path adds
+its exact instruction count (a compile-time constant) to the shared
+``_ic`` cell and re-checks the ``max_instructions`` limit, matching the
+tuple interpreter's per-block cadence.  Segment protocol (see the
+trampoline):
+
+* ``return <int>``                    -- continue at that segment id;
+* ``return (func, args, dst, seg)``   -- call ``func`` with ``args``,
+  store the result in caller slot ``dst`` (or ``None``), resume at
+  segment ``seg``;
+* ``return (value,)``                 -- return ``value`` from the frame.
+
+Semantics are byte-identical to the tuple interpreter (same C-style
+division, index wrapping, 0/1 comparisons, instruction counting, and
+traversal order of profile count -> hook -> tracer); the differential
+test in ``tests/test_interp_backends.py`` holds both backends to that
+contract across the whole workload suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.loops import find_back_edges
+from ..ir.function import Function, Module
+from ..ir.instructions import (BinOp, Branch, Call, Const, GlobalLoad,
+                               GlobalStore, Jump, Load, Mov, Ret, Select,
+                               Store, UnOp)
+
+__all__ = ["ModeSpec", "CodegenResult", "generate_source", "INLINE_BUDGET"]
+
+# Extra instructions one segment may inline from successor blocks before
+# falling back to the trampoline.  Bounds generated-code size (inlined
+# diamonds duplicate their join blocks) while letting typical loop bodies
+# compile into a single native loop.
+INLINE_BUDGET = 400
+
+
+@dataclass(frozen=True)
+class ModeSpec:
+    """Which observation channels the generated code must carry."""
+
+    profile: bool = False
+    trace: bool = False
+    listener: bool = False
+    # (block, target) keys of edges that have a hook attached.
+    hook_edges: frozenset = frozenset()
+
+
+@dataclass
+class CodegenResult:
+    """Generated source plus the tables the backend needs to wire it up."""
+
+    source: str
+    # Dense edge order: edge_keys[i] is the (block, target) counted by
+    # slot i of the edge-counter list.
+    edge_keys: tuple[tuple[str, str], ...] = ()
+    # Global array names in ``_g{i}`` parameter order.
+    global_arrays: tuple[str, ...] = ()
+    # Hooked edge keys in ``_h{i}`` parameter order.
+    hook_edges: tuple[tuple[str, str], ...] = ()
+    num_segments: int = 0
+    block_entry_seg: dict = field(default_factory=dict)
+
+
+# Straight-line templates; {d}/{a}/{b} are register slot indices.
+_BIN_TEMPLATES = {
+    "+": "regs[{d}] = regs[{a}] + regs[{b}]",
+    "-": "regs[{d}] = regs[{a}] - regs[{b}]",
+    "*": "regs[{d}] = regs[{a}] * regs[{b}]",
+    "/": "regs[{d}] = _div(regs[{a}], regs[{b}])",
+    "%": "regs[{d}] = _mod(regs[{a}], regs[{b}])",
+    "<": "regs[{d}] = 1 if regs[{a}] < regs[{b}] else 0",
+    "<=": "regs[{d}] = 1 if regs[{a}] <= regs[{b}] else 0",
+    ">": "regs[{d}] = 1 if regs[{a}] > regs[{b}] else 0",
+    ">=": "regs[{d}] = 1 if regs[{a}] >= regs[{b}] else 0",
+    "==": "regs[{d}] = 1 if regs[{a}] == regs[{b}] else 0",
+    "!=": "regs[{d}] = 1 if regs[{a}] != regs[{b}] else 0",
+    "&": "regs[{d}] = int(regs[{a}]) & int(regs[{b}])",
+    "|": "regs[{d}] = int(regs[{a}]) | int(regs[{b}])",
+    "^": "regs[{d}] = int(regs[{a}]) ^ int(regs[{b}])",
+    "<<": "regs[{d}] = int(regs[{a}]) << (int(regs[{b}]) & 63)",
+    ">>": "regs[{d}] = int(regs[{a}]) >> (int(regs[{b}]) & 63)",
+}
+
+_UN_TEMPLATES = {
+    "-": "regs[{d}] = -regs[{a}]",
+    "!": "regs[{d}] = 1 if regs[{a}] == 0 else 0",
+    "~": "regs[{d}] = ~int(regs[{a}])",
+}
+
+_LIMIT_CHECK = ("if _ic[0] > _lim[0]: "
+                "raise _err('instruction limit exceeded (%d)' % _lim[0])")
+
+
+class _Namer:
+    """Stable mangled names for arrays referenced by the function (IR
+    identifiers may shadow Python keywords or each other, so literal
+    names only ever appear as dict-key string constants)."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.names: dict[str, str] = {}
+
+    def get(self, name: str) -> str:
+        mangled = self.names.get(name)
+        if mangled is None:
+            mangled = f"{self.prefix}{len(self.names)}"
+            self.names[name] = mangled
+        return mangled
+
+    def ordered(self) -> tuple[str, ...]:
+        return tuple(self.names)
+
+
+def _segment_ranges(func: Function) -> tuple[list[tuple[str, int]],
+                                             dict[str, int]]:
+    """Split every block at call boundaries.
+
+    Returns ``(segments, block_entry_seg)`` where each segment is
+    ``(block, start_index)`` (it runs to the next call or the block's
+    terminator), and ``block_entry_seg`` maps a block name to the id of
+    its first segment.  The entry block's first segment is always id 0.
+    """
+    order = [func.cfg.entry] + [b for b in func.cfg.blocks
+                                if b != func.cfg.entry]
+    segments: list[tuple[str, int]] = []
+    block_entry: dict[str, int] = {}
+    for bname in order:
+        instrs = func.cfg.blocks[bname].instructions
+        block_entry[bname] = len(segments)
+        segments.append((bname, 0))
+        for i, instr in enumerate(instrs):
+            if isinstance(instr, Call):
+                # A sealed block never ends with a Call, so the resume
+                # range (i + 1 ...) is always non-empty.
+                segments.append((bname, i + 1))
+    return segments, block_entry
+
+
+class _FunctionEmitter:
+    """Emits the generated module for one function under one mode."""
+
+    def __init__(self, func: Function, module: Module, spec: ModeSpec):
+        self.func = func
+        self.module = module
+        self.spec = spec
+        self.s = func.register_slots.__getitem__
+        self.blocks = func.cfg.blocks
+        self.segments, self.block_entry = _segment_ranges(func)
+        # (block, start index) -> segment id, for call-resume points.
+        self.range_seg = {key: i for i, key in enumerate(self.segments)}
+        self.local_names = _Namer("_l")
+        self.global_names = _Namer("_g")
+
+        # Dense edge indexing in terminator order (deterministic,
+        # matching the order seal() derived the CFG edges in).
+        self.edge_index: dict[tuple[str, str], int] = {}
+        for bname, _start in self.segments:
+            if _start:
+                continue
+            term = self.blocks[bname].instructions[-1]
+            if isinstance(term, Jump):
+                targets = (term.target,)
+            elif isinstance(term, Branch):
+                targets = (term.then_target, term.else_target)
+            else:
+                targets = ()
+            for target in targets:
+                self.edge_index[(bname, target)] = len(self.edge_index)
+
+        back_uids = {e.uid for e in find_back_edges(func.cfg)}
+        self.back_keys = {
+            key for key in self.edge_index
+            if func.edge_by_target[key[0]][key[1]].uid in back_uids}
+
+        self.hook_order: dict[tuple[str, str], int] = {}
+        for key in sorted(spec.hook_edges, key=self.edge_index.__getitem__):
+            self.hook_order[key] = len(self.hook_order)
+
+        # Per-segment emission state.
+        self.lines: list[str] = []
+        self.used_locals: dict[str, None] = {}
+        self.budget = 0
+        self.start_block = ""
+        self.at_block_start = False
+
+    # -- low-level writers ---------------------------------------------
+
+    def w(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def array_ref(self, name: str) -> tuple[str, int]:
+        """(python name, length) for an array operand; records local
+        arrays so the segment prologue can hoist them."""
+        if name in self.func.arrays:
+            self.used_locals.setdefault(name)
+            return self.local_names.get(name), self.func.arrays[name]
+        return self.global_names.get(name), self.module.global_arrays[name]
+
+    # -- instruction and edge emission ---------------------------------
+
+    def emit_instr(self, instr, indent: int) -> None:
+        s, w = self.s, self.w
+        if isinstance(instr, Const):
+            w(indent, f"regs[{s(instr.dst)}] = {instr.value!r}")
+        elif isinstance(instr, Mov):
+            w(indent, f"regs[{s(instr.dst)}] = regs[{s(instr.src)}]")
+        elif isinstance(instr, BinOp):
+            w(indent, _BIN_TEMPLATES[instr.op].format(
+                d=s(instr.dst), a=s(instr.a), b=s(instr.b)))
+        elif isinstance(instr, UnOp):
+            w(indent, _UN_TEMPLATES[instr.op].format(
+                d=s(instr.dst), a=s(instr.a)))
+        elif isinstance(instr, Select):
+            w(indent, f"regs[{s(instr.dst)}] = regs[{s(instr.a)}] "
+                      f"if regs[{s(instr.cond)}] else regs[{s(instr.b)}]")
+        elif isinstance(instr, Load):
+            name, length = self.array_ref(instr.array)
+            w(indent, f"regs[{s(instr.dst)}] = "
+                      f"{name}[int(regs[{s(instr.idx)}]) % {length}]")
+        elif isinstance(instr, Store):
+            name, length = self.array_ref(instr.array)
+            w(indent, f"{name}[int(regs[{s(instr.idx)}]) % {length}] = "
+                      f"regs[{s(instr.src)}]")
+        elif isinstance(instr, GlobalLoad):
+            w(indent, f"regs[{s(instr.dst)}] = _gs[{instr.name!r}]")
+        elif isinstance(instr, GlobalStore):
+            w(indent, f"_gs[{instr.name!r}] = regs[{s(instr.src)}]")
+        else:  # pragma: no cover - terminators/calls handled by caller
+            raise TypeError(f"cannot generate code for {instr!r}")
+
+    def emit_edge(self, key: tuple[str, str], indent: int) -> None:
+        """The fused block-exit work for traversing one CFG edge, in the
+        tuple interpreter's order: profile count, hook, tracer."""
+        spec, w = self.spec, self.w
+        if spec.profile:
+            w(indent, f"_ec[{self.edge_index[key]}] += 1")
+        if key in self.hook_order:
+            w(indent, f"_h{self.hook_order[key]}(frame)")
+        if spec.trace:
+            target = key[1]
+            if key in self.back_keys:
+                w(indent, "_p = tuple(frame.path_blocks)")
+                w(indent, "_pc[_p] = _pc.get(_p, 0) + 1")
+                if spec.listener:
+                    w(indent, f"_pl({self.func.name!r}, _p)")
+                w(indent, f"frame.path_blocks = [{target!r}]")
+            else:
+                w(indent, f"frame.path_blocks.append({target!r})")
+
+    def emit_cost(self, cost: int, indent: int) -> None:
+        """Bill ``cost`` executed instructions and re-check the limit
+        (the tuple interpreter checks once per block execution)."""
+        self.w(indent, f"_ic[0] += {cost}")
+        self.w(indent, _LIMIT_CHECK)
+
+    # -- control flow --------------------------------------------------
+
+    def emit_range(self, bname: str, start: int, cost: int, indent: int,
+                   chain: frozenset) -> None:
+        """Emit instructions from ``(bname, start)`` to the next call or
+        the terminator, then chase the control transfer."""
+        instrs = self.blocks[bname].instructions
+        last = len(instrs) - 1
+        i = start
+        while i < last and not isinstance(instrs[i], Call):
+            self.emit_instr(instrs[i], indent)
+            i += 1
+        instr = instrs[i]
+        cost += i - start + 1
+        self.budget -= i - start + 1
+        if isinstance(instr, Call):
+            args = "".join(f"regs[{self.s(a)}], " for a in instr.args)
+            dst = self.s(instr.dst) if instr.dst is not None else None
+            self.emit_cost(cost, indent)
+            self.w(indent, f"return ({instr.func!r}, ({args}), {dst}, "
+                           f"{self.range_seg[(bname, i + 1)]})")
+        elif isinstance(instr, Ret):
+            self.emit_ret(instr, cost, indent)
+        elif isinstance(instr, Jump):
+            self.emit_edge((bname, instr.target), indent)
+            self.emit_goto(instr.target, cost, indent, chain)
+        elif isinstance(instr, Branch):
+            self.w(indent, f"if regs[{self.s(instr.cond)}]:")
+            self.emit_edge((bname, instr.then_target), indent + 1)
+            self.emit_goto(instr.then_target, cost, indent + 1, chain)
+            self.emit_edge((bname, instr.else_target), indent)
+            self.emit_goto(instr.else_target, cost, indent, chain)
+        else:  # pragma: no cover - sealed IR always terminates blocks
+            raise TypeError(f"block {bname!r} ends with {instr!r}")
+
+    def emit_goto(self, target: str, cost: int, indent: int,
+                  chain: frozenset) -> None:
+        """Transfer to ``target``: native loop continue, trampoline
+        bounce, or inline the target block."""
+        if target == self.start_block and self.at_block_start:
+            # Back to this segment's own top: spin natively.
+            self.emit_cost(cost, indent)
+            self.w(indent, "continue")
+        elif target in chain or self.budget <= 0:
+            self.emit_cost(cost, indent)
+            self.w(indent, f"return {self.block_entry[target]}")
+        else:
+            self.emit_range(target, 0, cost, indent, chain | {target})
+
+    def emit_ret(self, instr: Ret, cost: int, indent: int) -> None:
+        value = f"regs[{self.s(instr.src)}]" if instr.src is not None else "0"
+        self.emit_cost(cost, indent)
+        if self.spec.trace:
+            # Read the return value before the flush: a path listener
+            # runs during the flush and must observe the same state the
+            # tuple interpreter shows it.
+            self.w(indent, f"_rv = {value}")
+            self.w(indent, "_p = tuple(frame.path_blocks)")
+            self.w(indent, "_pc[_p] = _pc.get(_p, 0) + 1")
+            if self.spec.listener:
+                self.w(indent, f"_pl({self.func.name!r}, _p)")
+            self.w(indent, "return (_rv,)")
+        else:
+            self.w(indent, f"return ({value},)")
+
+    # -- assembly ------------------------------------------------------
+
+    def emit_segment(self, seg_id: int) -> list[str]:
+        bname, start = self.segments[seg_id]
+        self.lines = []
+        self.used_locals = {}
+        self.budget = INLINE_BUDGET
+        self.start_block = bname
+        self.at_block_start = (start == 0)
+        self.emit_range(bname, start, 0, 3, frozenset({bname}))
+        out = [f"    def _seg_{seg_id}(frame, regs):"]
+        out.extend(
+            f"        {self.local_names.get(name)} = "
+            f"frame.arrays[{name!r}]" for name in self.used_locals)
+        out.append("        while True:")
+        out.extend(self.lines)
+        return out
+
+    def emit_module(self) -> str:
+        body: list[str] = []
+        for seg_id in range(len(self.segments)):
+            body.extend(self.emit_segment(seg_id))
+        hook_params = "".join(f", _h{i}" for i in range(len(self.hook_order)))
+        global_params = "".join(
+            f", {self.global_names.names[n]}"
+            for n in self.global_names.ordered())
+        header = (f"def _make(_div, _mod, _err, _ic, _lim, _gs, _pc, _pl, "
+                  f"_ec{global_params}{hook_params}):")
+        footer = "    return ({})".format(
+            "".join(f"_seg_{i}, " for i in range(len(self.segments))))
+        return "\n".join([header, *body, footer, ""])
+
+
+def generate_source(func: Function, module: Module,
+                    spec: ModeSpec) -> CodegenResult:
+    """Translate one sealed function into a compilable Python module."""
+    emitter = _FunctionEmitter(func, module, spec)
+    source = emitter.emit_module()
+    hook_keys = tuple(sorted(emitter.hook_order,
+                             key=emitter.hook_order.__getitem__))
+    return CodegenResult(
+        source=source,
+        edge_keys=tuple(emitter.edge_index),
+        global_arrays=emitter.global_names.ordered(),
+        hook_edges=hook_keys,
+        num_segments=len(emitter.segments),
+        block_entry_seg=emitter.block_entry,
+    )

@@ -21,6 +21,7 @@ matters because profiling must never change program behaviour.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -84,6 +85,24 @@ class MachineError(Exception):
     """Raised for runtime failures (unknown function, step limit, ...)."""
 
 
+# Execution backends: "compiled" translates each basic block to Python
+# source compiled once per machine (fast path); "tuple" is the original
+# tuple-dispatch interpreter, kept as the reference implementation.
+VALID_BACKENDS = ("compiled", "tuple")
+DEFAULT_BACKEND = "compiled"
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Pick the execution backend: explicit argument, else the
+    ``REPRO_BACKEND`` environment variable, else the default."""
+    chosen = backend or os.environ.get("REPRO_BACKEND") or DEFAULT_BACKEND
+    if chosen not in VALID_BACKENDS:
+        raise MachineError(
+            f"unknown backend {chosen!r}; expected one of "
+            f"{', '.join(VALID_BACKENDS)}")
+    return chosen
+
+
 EdgeHook = Callable[["Frame"], None]
 
 
@@ -109,7 +128,8 @@ class _CompiledFunction:
     """Per-function lookup tables built once per Machine."""
 
     __slots__ = ("func", "blocks", "entry", "exit", "param_slots",
-                 "num_slots", "array_sizes", "edge_uid", "is_back", "hooks")
+                 "num_slots", "array_sizes", "edge_uid", "uid_edge",
+                 "is_back", "hooks", "hooks_version")
 
     def __init__(self, func: Function, module: Module):
         if not func.sealed:
@@ -127,15 +147,22 @@ class _CompiledFunction:
                 self._compile(instr, slots, func, module)
                 for instr in block.instructions
             ]
-        # (block, target) -> cfg edge uid, and whether that edge is a back edge
+        # (block, target) -> cfg edge uid, and whether that edge is a back
+        # edge; uid_edge is the O(1) reverse index set_edge_hook uses
+        # (plans attach hundreds of hooks per module).
         self.edge_uid: dict[tuple[str, str], int] = {}
+        self.uid_edge: dict[int, tuple[str, str]] = {}
         self.is_back: dict[tuple[str, str], bool] = {}
         back_uids = {e.uid for e in find_back_edges(func.cfg)}
         for bname, table in func.edge_by_target.items():
             for target, edge in table.items():
                 self.edge_uid[(bname, target)] = edge.uid
+                self.uid_edge[edge.uid] = (bname, target)
                 self.is_back[(bname, target)] = edge.uid in back_uids
         self.hooks: dict[tuple[str, str], EdgeHook] = {}
+        # Bumped on every hook mutation; the compiled backend fuses hooks
+        # into generated code, so a version change forces regeneration.
+        self.hooks_version = 0
 
     def _compile(self, instr, slots: dict[str, int], func: Function,
                  module: Module) -> tuple:
@@ -210,6 +237,11 @@ class Machine:
         :class:`CostCounter` through :attr:`costs`.
     max_instructions:
         Safety valve against runaway workloads.
+    backend:
+        ``"compiled"`` (generated-Python block execution; the default) or
+        ``"tuple"`` (the reference tuple-dispatch interpreter).  ``None``
+        consults the ``REPRO_BACKEND`` environment variable.  Both
+        backends produce identical :class:`RunResult`\\ s.
     """
 
     def __init__(self, module: Module, collect_edge_profile: bool = False,
@@ -217,8 +249,12 @@ class Machine:
                  cost_model: CostModel = DEFAULT_COSTS,
                  max_instructions: int = 500_000_000,
                  path_listener: Optional[
-                     Callable[[str, tuple[str, ...]], None]] = None):
+                     Callable[[str, tuple[str, ...]], None]] = None,
+                 backend: Optional[str] = None):
         self.module = module
+        self.backend = resolve_backend(backend)
+        self._backend_impl = None  # lazily-built CompiledBackend
+        self._last_return: object = 0
         self.collect_edge_profile = collect_edge_profile
         # A path listener needs the tracer's bookkeeping to see paths.
         self.trace_paths = trace_paths or path_listener is not None
@@ -248,16 +284,18 @@ class Machine:
                       hook: EdgeHook) -> None:
         """Attach a hook to a CFG edge; it runs on every traversal."""
         cf = self.compiled[func_name]
-        for key, uid in cf.edge_uid.items():
-            if uid == edge_uid:
-                cf.hooks[key] = hook
-                return
-        raise MachineError(
-            f"no edge with uid {edge_uid} in function {func_name!r}")
+        key = cf.uid_edge.get(edge_uid)
+        if key is None:
+            raise MachineError(
+                f"no edge with uid {edge_uid} in function {func_name!r}")
+        cf.hooks[key] = hook
+        cf.hooks_version += 1
 
     def clear_hooks(self) -> None:
         for cf in self.compiled.values():
-            cf.hooks.clear()
+            if cf.hooks:
+                cf.hooks.clear()
+                cf.hooks_version += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -285,14 +323,13 @@ class Machine:
             path_counts=self.path_counts if self.trace_paths else None,
         )
 
-    _last_return: object = 0
-
     def _new_frame(self, cf: _CompiledFunction, args: tuple) -> Frame:
         if len(args) != len(cf.param_slots):
             raise MachineError(
                 f"{cf.func.name}: expected {len(cf.param_slots)} args, "
                 f"got {len(args)}")
-        arrays = {name: [0] * size for name, size in cf.array_sizes.items()}
+        arrays = ({name: [0] * size for name, size in cf.array_sizes.items()}
+                  if cf.array_sizes else {})
         frame = Frame(cf.func.name, cf.num_slots, arrays, cf.entry)
         for slot, value in zip(cf.param_slots, args):
             frame.regs[slot] = value
@@ -302,6 +339,15 @@ class Machine:
         return frame
 
     def _execute(self, name: str, args: tuple) -> None:
+        if self.backend == "compiled":
+            if self._backend_impl is None:
+                from .compiled import CompiledBackend
+                self._backend_impl = CompiledBackend(self)
+            self._backend_impl.execute(name, args)
+            return
+        self._execute_tuple(name, args)
+
+    def _execute_tuple(self, name: str, args: tuple) -> None:
         compiled = self.compiled
         cm = self.cost_model
         costs = self.costs
@@ -429,9 +475,10 @@ class Machine:
 def run_module(module: Module, func: Optional[str] = None, args: tuple = (),
                collect_edge_profile: bool = False, trace_paths: bool = False,
                cost_model: CostModel = DEFAULT_COSTS,
-               max_instructions: int = 500_000_000) -> RunResult:
+               max_instructions: int = 500_000_000,
+               backend: Optional[str] = None) -> RunResult:
     """One-shot convenience wrapper around :class:`Machine`."""
     machine = Machine(module, collect_edge_profile=collect_edge_profile,
                       trace_paths=trace_paths, cost_model=cost_model,
-                      max_instructions=max_instructions)
+                      max_instructions=max_instructions, backend=backend)
     return machine.run(func, args)
