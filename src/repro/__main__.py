@@ -20,6 +20,15 @@ Subcommands
 ``cache {info,clear}``
     Inspect or empty the on-disk artifact cache the experiment harness
     keeps under ``results/.cache`` (see ``repro.engine``).
+``verify [FILE | --suite]``
+    Statically verify PP/TPP/PPP instrumentation plans (numbering
+    bijectivity, exact per-path counting, cold-edge poisoning, counter
+    geometry) for one MiniC file or the whole workload suite.  Exits
+    nonzero when any plan fails.
+``lint [FILE | --suite]``
+    Run the dataflow-backed IR lint passes (use-before-def, dead
+    stores, unreachable blocks, constant branches, shadowed names) over
+    one file or the expanded suite modules.
 
 Examples::
 
@@ -28,6 +37,8 @@ Examples::
     python -m repro disasm program.minic --optimize
     python -m repro dot program.minic main --dag | dot -Tpng > cfg.png
     python -m repro cache info
+    python -m repro verify --suite
+    python -m repro lint program.minic
 """
 
 from __future__ import annotations
@@ -175,6 +186,110 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def _parse_techniques(spec: str) -> tuple[str, ...]:
+    techs = tuple(t.strip() for t in spec.split(",") if t.strip())
+    for tech in techs:
+        if tech not in ("pp", "tpp", "ppp"):
+            raise CliError(f"unknown technique {tech!r}")
+    if not techs:
+        raise CliError("no techniques selected")
+    return techs
+
+
+def _suite_session(cache_dir: str):
+    from .engine import ArtifactCache, ProfilingSession
+    cache = (ArtifactCache(disk_dir=cache_dir) if cache_dir
+             else ArtifactCache())
+    return ProfilingSession(cache=cache)
+
+
+def _chosen_workloads(spec: str):
+    from .workloads import SUITE, get_workload
+    if not spec:
+        return list(SUITE)
+    try:
+        return [get_workload(n.strip()) for n in spec.split(",")
+                if n.strip()]
+    except KeyError as exc:
+        raise CliError(f"unknown benchmark {exc.args[0]!r}") from exc
+
+
+def cmd_verify(args) -> int:
+    import time
+
+    from .analysis import (DEFAULT_PATH_CAP, Severity, verify_module_plan,
+                           verify_suite)
+
+    if args.path_cap is None:
+        args.path_cap = DEFAULT_PATH_CAP
+    start = time.time()
+    if args.suite or args.benchmarks:
+        session = _suite_session(args.cache_dir)
+        reports = verify_suite(session, _chosen_workloads(args.benchmarks),
+                               techniques=_parse_techniques(args.techniques),
+                               path_cap=args.path_cap)
+    elif args.file:
+        module = _load(args.file)
+        _actual, edge_profile, _rv = ground_truth(module)
+        planner = {"pp": lambda: plan_pp(module),
+                   "tpp": lambda: plan_tpp(module, edge_profile),
+                   "ppp": lambda: plan_ppp(module, edge_profile)}
+        reports = []
+        for tech in _parse_techniques(args.techniques):
+            report = verify_module_plan(planner[tech](),
+                                        path_cap=args.path_cap)
+            report.title = f"{args.file}/{tech}"
+            reports.append(report)
+    else:
+        raise CliError("verify needs a FILE or --suite")
+
+    failed = 0
+    for report in reports:
+        for diag in report:
+            if diag.severity >= Severity.WARNING or args.verbose:
+                print(f"{report.title}: {diag.format()}")
+        if not report.ok:
+            failed += 1
+        if not args.quiet:
+            status = "FAIL" if not report.ok else "ok"
+            print(f"[{status}] {report.summary()}")
+    plans = len(reports)
+    print(f"verified {plans} plan{'s' if plans != 1 else ''}: "
+          f"{plans - failed} ok, {failed} failed "
+          f"({time.time() - start:.1f}s)")
+    return 1 if failed else 0
+
+
+def cmd_lint(args) -> int:
+    from .analysis import Severity, lint_module
+
+    if args.suite or args.benchmarks:
+        session = _suite_session(args.cache_dir)
+        modules = [(w.name, session.expand(w).module)
+                   for w in _chosen_workloads(args.benchmarks)]
+    elif args.file:
+        modules = [(args.file, _load(args.file))]
+    else:
+        raise CliError("lint needs a FILE or --suite")
+
+    errors = warnings = 0
+    for name, module in modules:
+        report = lint_module(module, warn_synthetic=args.warn_synthetic)
+        for diag in report:
+            if diag.severity >= Severity.WARNING or args.verbose:
+                print(f"{name}: {diag.format()}")
+        errors += len(report.errors())
+        warnings += len(report.warnings())
+        if not args.quiet:
+            print(f"[{name}] {report.summary()}")
+    print(f"lint: {errors} error{'s' if errors != 1 else ''}, "
+          f"{warnings} warning{'s' if warnings != 1 else ''} across "
+          f"{len(modules)} module{'s' if len(modules) != 1 else ''}")
+    if errors or (args.strict and warnings):
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -225,6 +340,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--dir", default="results/.cache",
                          help="cache directory (default results/.cache)")
     p_cache.set_defaults(fn=cmd_cache)
+
+    p_verify = sub.add_parser(
+        "verify", help="statically verify instrumentation plans")
+    p_verify.add_argument("file", nargs="?",
+                          help="a MiniC file (omit with --suite)")
+    p_verify.add_argument("--suite", action="store_true",
+                          help="verify every workload-suite plan")
+    p_verify.add_argument("--benchmarks", default="",
+                          help="comma-separated benchmark subset")
+    p_verify.add_argument("--techniques", default="pp,tpp,ppp",
+                          help="comma-separated subset of pp,tpp,ppp")
+    p_verify.add_argument("--path-cap", type=int, metavar="N",
+                          default=None,
+                          help="enumeration cap before id sampling")
+    p_verify.add_argument("--cache-dir", default="results/.cache",
+                          help="artifact cache directory for --suite "
+                               "(empty = memory only)")
+    p_verify.add_argument("--verbose", action="store_true",
+                          help="also print informational findings")
+    p_verify.add_argument("--quiet", action="store_true",
+                          help="only print failures and the final line")
+    p_verify.set_defaults(fn=cmd_verify)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the dataflow-backed IR lint passes")
+    p_lint.add_argument("file", nargs="?",
+                        help="a MiniC file (omit with --suite)")
+    p_lint.add_argument("--suite", action="store_true",
+                        help="lint every expanded suite module")
+    p_lint.add_argument("--benchmarks", default="",
+                        help="comma-separated benchmark subset")
+    p_lint.add_argument("--warn-synthetic", action="store_true",
+                        help="keep warnings in optimizer-inserted blocks "
+                             "at full severity")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="exit nonzero on warnings, not just errors")
+    p_lint.add_argument("--cache-dir", default="results/.cache",
+                        help="artifact cache directory for --suite "
+                             "(empty = memory only)")
+    p_lint.add_argument("--verbose", action="store_true",
+                        help="also print informational findings")
+    p_lint.add_argument("--quiet", action="store_true",
+                        help="only print findings and the final line")
+    p_lint.set_defaults(fn=cmd_lint)
     return parser
 
 

@@ -1,0 +1,36 @@
+"""Static analysis and verification over the profiling pipeline.
+
+Three layers, all reporting structured :class:`Diagnostic` records:
+
+* :mod:`repro.analysis.dataflow` — a generic worklist framework over
+  :mod:`repro.cfg` graphs with reaching-definitions, definite-
+  assignment, liveness, and dominance-frontier clients;
+* :mod:`repro.analysis.lint` — advisory IR lint passes built on the
+  framework (use-before-def, dead stores, unreachable blocks, constant
+  branches, shadowed names);
+* :mod:`repro.analysis.verify` — the static plan verifier proving the
+  Ball–Larus numbering/placement/poisoning invariants for PP/TPP/PPP
+  plans, plus :mod:`repro.analysis.mutate` for seeding corruptions the
+  verifier must catch.
+"""
+
+from .dataflow import (DataflowProblem, DataflowResult, Def,
+                       DefiniteAssignment, DominatorSets, LiveRegisters,
+                       ReachingDefinitions, dominance_frontiers, solve)
+from .diagnostics import Diagnostic, Report, Severity
+from .lint import lint_function, lint_module
+from .mutate import MUTATIONS, applicable_mutations, mutate_plan
+from .verify import (DEFAULT_PATH_CAP, PlanVerificationError,
+                     verify_function_plan, verify_module_plan,
+                     verify_suite)
+
+__all__ = [
+    "DataflowProblem", "DataflowResult", "Def", "DefiniteAssignment",
+    "DominatorSets", "LiveRegisters", "ReachingDefinitions",
+    "dominance_frontiers", "solve",
+    "Diagnostic", "Report", "Severity",
+    "lint_function", "lint_module",
+    "MUTATIONS", "applicable_mutations", "mutate_plan",
+    "DEFAULT_PATH_CAP", "PlanVerificationError", "verify_function_plan",
+    "verify_module_plan", "verify_suite",
+]

@@ -1,0 +1,197 @@
+"""Seeded corruption of instrumentation plans, for verifier testing.
+
+Each mutation kind makes one small, realistic corruption to a deep copy
+of a :class:`~repro.core.pipeline.ModulePlan` — the kind of damage a
+placement bug would cause — and the test suite asserts that
+:func:`repro.analysis.verify.verify_module_plan` flags every one of
+them while passing the pristine plan.  Mutations are deterministic:
+the first applicable site (in sorted edge-uid order, over functions in
+plan order) is corrupted.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterator, Optional
+
+from ..core.ops import AddReg, CountConst, CountReg, InstrOp, SetReg
+from ..core.pipeline import FunctionPlan, ModulePlan
+
+
+def _op_sites(fplan: FunctionPlan
+              ) -> Iterator[tuple[list[InstrOp], int, InstrOp]]:
+    """(op list, index, op) for every placed op, deterministically."""
+    assert fplan.placement is not None
+    for uid in sorted(fplan.placement.edge_ops):
+        ops = fplan.placement.edge_ops[uid]
+        for index, op in enumerate(ops):
+            yield ops, index, op
+
+
+def _instrumented(mplan: ModulePlan) -> Iterator[FunctionPlan]:
+    for fplan in mplan.functions.values():
+        if fplan.instrumented and fplan.placement is not None:
+            yield fplan
+
+
+def _drop_init(mplan: ModulePlan) -> bool:
+    for fplan in _instrumented(mplan):
+        for ops, index, op in _op_sites(fplan):
+            if isinstance(op, SetReg) and not op.poison:
+                del ops[index]
+                return True
+    return False
+
+
+def _drop_count(mplan: ModulePlan) -> bool:
+    for fplan in _instrumented(mplan):
+        for ops, index, op in _op_sites(fplan):
+            if isinstance(op, (CountReg, CountConst)):
+                del ops[index]
+                return True
+    return False
+
+
+def _swap_increment(mplan: ModulePlan) -> bool:
+    for fplan in _instrumented(mplan):
+        for ops, index, op in _op_sites(fplan):
+            if isinstance(op, AddReg):
+                ops[index] = AddReg(op.value + 1)
+                return True
+    return False
+
+
+def _zero_poison(mplan: ModulePlan) -> bool:
+    # Neutralise every poison in the plan (a single site can be benign
+    # when no register-dependent count is reachable behind it, and the
+    # verifier rightly tolerates that).
+    changed = False
+    for fplan in _instrumented(mplan):
+        for ops, index, op in _op_sites(fplan):
+            if isinstance(op, SetReg) and op.poison:
+                ops[index] = SetReg(0, poison=True)
+                changed = True
+    return changed
+
+
+def _drop_poison(mplan: ModulePlan) -> bool:
+    for fplan in _instrumented(mplan):
+        for ops, index, op in _op_sites(fplan):
+            if isinstance(op, SetReg) and op.poison:
+                del ops[index]
+                return True
+    return False
+
+
+def _dup_count(mplan: ModulePlan) -> bool:
+    for fplan in _instrumented(mplan):
+        for ops, index, op in _op_sites(fplan):
+            if isinstance(op, (CountReg, CountConst)):
+                ops.insert(index, copy.copy(op))
+                return True
+    return False
+
+
+def _count_off_by_one(mplan: ModulePlan) -> bool:
+    for fplan in _instrumented(mplan):
+        for ops, index, op in _op_sites(fplan):
+            if isinstance(op, CountConst):
+                ops[index] = CountConst(op.value + 1)
+                return True
+            if isinstance(op, CountReg):
+                ops[index] = CountReg(op.add + 1)
+                return True
+    return False
+
+
+def _init_off_by_one(mplan: ModulePlan) -> bool:
+    for fplan in _instrumented(mplan):
+        for ops, index, op in _op_sites(fplan):
+            if isinstance(op, SetReg) and not op.poison:
+                ops[index] = SetReg(op.value + 1)
+                return True
+    return False
+
+
+def _shrink_num_hot(mplan: ModulePlan) -> bool:
+    for fplan in _instrumented(mplan):
+        assert fplan.placement is not None
+        if fplan.placement.num_hot > 0:
+            fplan.placement.num_hot -= 1
+            return True
+    return False
+
+
+def _shrink_counter_span(mplan: ModulePlan) -> bool:
+    for fplan in _instrumented(mplan):
+        assert fplan.placement is not None
+        if fplan.placement.counter_span > 0:
+            fplan.placement.counter_span -= 1
+            return True
+    return False
+
+
+def _retarget_edge(mplan: ModulePlan) -> bool:
+    for fplan in _instrumented(mplan):
+        assert fplan.placement is not None
+        edge_ops = fplan.placement.edge_ops
+        if not edge_ops:
+            continue
+        uid = sorted(edge_ops)[0]
+        bogus = max(e.uid for e in fplan.func.cfg.edges()) + 1000
+        edge_ops[bogus] = edge_ops.pop(uid)
+        return True
+    return False
+
+
+def _flip_store_mode(mplan: ModulePlan) -> bool:
+    for fplan in _instrumented(mplan):
+        fplan.use_hash = not fplan.use_hash
+        return True
+    return False
+
+
+def _lie_static_ops(mplan: ModulePlan) -> bool:
+    for fplan in _instrumented(mplan):
+        assert fplan.placement is not None
+        fplan.placement.static_ops += 1
+        return True
+    return False
+
+
+_MUTATORS: dict[str, Callable[[ModulePlan], bool]] = {
+    "drop-init": _drop_init,
+    "drop-count": _drop_count,
+    "swap-increment": _swap_increment,
+    "zero-poison": _zero_poison,
+    "drop-poison": _drop_poison,
+    "dup-count": _dup_count,
+    "count-off-by-one": _count_off_by_one,
+    "init-off-by-one": _init_off_by_one,
+    "shrink-num-hot": _shrink_num_hot,
+    "shrink-counter-span": _shrink_counter_span,
+    "retarget-edge": _retarget_edge,
+    "flip-store-mode": _flip_store_mode,
+    "lie-static-ops": _lie_static_ops,
+}
+
+MUTATIONS: tuple[str, ...] = tuple(_MUTATORS)
+
+
+def mutate_plan(mplan: ModulePlan, kind: str) -> Optional[ModulePlan]:
+    """A deep-copied plan with one seeded corruption of ``kind``, or
+    ``None`` when the plan offers no applicable site (e.g. no poison
+    ops in an all-hot plan)."""
+    if kind not in _MUTATORS:
+        raise ValueError(f"unknown mutation kind {kind!r}; "
+                         f"choose from {', '.join(MUTATIONS)}")
+    mutated = copy.deepcopy(mplan)
+    if not _MUTATORS[kind](mutated):
+        return None
+    return mutated
+
+
+def applicable_mutations(mplan: ModulePlan) -> list[str]:
+    """The mutation kinds that have at least one site in this plan."""
+    return [kind for kind in MUTATIONS
+            if mutate_plan(mplan, kind) is not None]

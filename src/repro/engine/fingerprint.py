@@ -27,7 +27,7 @@ from ..profiles.serialize import edge_profile_to_dict
 # semantics, result dataclass layout, ...); it salts every key, so old
 # on-disk entries simply stop matching instead of being misread.
 # 2: execution-stage keys carry the interpreter backend.
-CACHE_SCHEMA_VERSION = 2
+CACHE_SCHEMA_VERSION = 3
 
 _SEP = "\x1f"  # unit separator: cannot appear in the joined parts
 

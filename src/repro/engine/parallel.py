@@ -43,6 +43,7 @@ class WorkloadTask:
     # None lets the worker resolve REPRO_BACKEND itself; sessions always
     # pass their already-resolved backend so parent and workers agree.
     backend: Optional[str] = None
+    verify_plans: bool = False
 
 
 def run_task(task: WorkloadTask,
@@ -57,7 +58,8 @@ def run_task(task: WorkloadTask,
     from .session import ProfilingSession
 
     session = ProfilingSession(cache=ArtifactCache(disk_dir=disk_dir),
-                               backend=task.backend)
+                               backend=task.backend,
+                               verify_plans=task.verify_plans)
     return session.run_workload(task.workload, task.scale,
                                 config=task.config,
                                 techniques=task.techniques,

@@ -22,6 +22,7 @@ path: the stages are the same code, merely memoised.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Optional
 
 from ..core import DEFAULT_CONFIG, ModulePlan, ProfilerConfig
@@ -57,19 +58,32 @@ class ProfilingSession:
         construction).  Both backends produce identical artifacts, but
         the backend is still part of every execution-stage cache key so
         a cached result always names the code path that produced it.
+    verify_plans:
+        When true, every plan :meth:`plan` hands out is first proven
+        correct by the static verifier (:mod:`repro.analysis.verify`);
+        a plan with errors raises
+        :class:`~repro.analysis.verify.PlanVerificationError` with the
+        full report.  ``None`` (the default) reads ``REPRO_VERIFY``
+        (``1``/``true``/``yes`` enable it).
     """
 
     def __init__(self, cache: Optional[ArtifactCache] = None, jobs: int = 1,
                  config: ProfilerConfig = DEFAULT_CONFIG,
                  techniques: Iterable[str] = TECHNIQUES,
                  hot_threshold: float = HOT_THRESHOLD,
-                 backend: Optional[str] = None):
+                 backend: Optional[str] = None,
+                 verify_plans: Optional[bool] = None):
         self.cache = cache if cache is not None else ArtifactCache()
         self.jobs = max(1, int(jobs))
         self.config = config
         self.techniques = tuple(techniques)
         self.hot_threshold = hot_threshold
         self.backend = resolve_backend(backend)
+        if verify_plans is None:
+            verify_plans = os.environ.get(
+                "REPRO_VERIFY", "").strip().lower() in ("1", "true", "yes",
+                                                        "on")
+        self.verify_plans = bool(verify_plans)
 
     @property
     def stats(self):
@@ -120,9 +134,31 @@ class ProfilingSession:
                                fingerprint_module(module),
                                fingerprint_edge_profile(edge_profile),
                                fingerprint_config(cfg))
-        return self.cache.get_or_compute(
+        plan = self.cache.get_or_compute(
             "plan", key,
             lambda: stages.plan_stage(technique, module, edge_profile, cfg))
+        if self.verify_plans:
+            self._verify_plan(plan, key)
+        return plan
+
+    def _verify_plan(self, plan: ModulePlan, plan_key: str) -> None:
+        """Fail fast on a plan the static verifier rejects.
+
+        The verdict is cached alongside the plan, so a warm session only
+        pays for verification once per distinct plan.
+        """
+        from ..analysis.verify import (PlanVerificationError,
+                                       verify_module_plan)
+
+        def compute() -> tuple[bool, str]:
+            report = verify_module_plan(plan)
+            return report.ok, report.format()
+
+        ok, _text = self.cache.get_or_compute(
+            "verify", fingerprint_text("verify", plan_key), compute)
+        if not ok:
+            report = verify_module_plan(plan)  # rebuild the rich report
+            raise PlanVerificationError(report)
 
     def plan_and_score(self, technique: str, module: Module,
                        plan_profile: Optional[EdgeProfile],
@@ -259,7 +295,7 @@ class ProfilingSession:
                   f"processes ...", flush=True)
         runner = ParallelRunner(jobs=jobs, disk_dir=self.cache.disk_dir)
         tasks = [WorkloadTask(w, scale, config, techniques, hot,
-                              self.backend)
+                              self.backend, self.verify_plans)
                  for w in cold]
         fresh = dict(zip((w.name for w in cold), runner.run(tasks)))
 

@@ -32,13 +32,15 @@ DEFAULT_CACHE_DIR = "results/.cache"
 
 def build_session(jobs: int = 1, no_cache: bool = False,
                   cache_dir: str = DEFAULT_CACHE_DIR,
-                  backend: str | None = None) -> ProfilingSession:
+                  backend: str | None = None,
+                  verify: bool | None = None) -> ProfilingSession:
     """The session a CLI invocation drives everything through."""
     if no_cache:
         cache = ArtifactCache(memory=False)
     else:
         cache = ArtifactCache(disk_dir=cache_dir or None)
-    return ProfilingSession(cache=cache, jobs=jobs, backend=backend)
+    return ProfilingSession(cache=cache, jobs=jobs, backend=backend,
+                            verify_plans=verify)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -59,6 +61,10 @@ def main(argv: list[str] | None = None) -> int:
                         default=None,
                         help="interpreter backend (default: $REPRO_BACKEND "
                              "or compiled)")
+    parser.add_argument("--verify", action="store_true",
+                        help="statically verify every instrumentation "
+                             "plan before running it (or set "
+                             "REPRO_VERIFY=1); fails fast on a bad plan")
     parser.add_argument("--cache-dir", metavar="DIR",
                         default=DEFAULT_CACHE_DIR,
                         help="on-disk cache directory (default "
@@ -78,7 +84,8 @@ def main(argv: list[str] | None = None) -> int:
         workloads = SUITE
 
     session = build_session(jobs=args.jobs, no_cache=args.no_cache,
-                            cache_dir=args.cache_dir, backend=args.backend)
+                            cache_dir=args.cache_dir, backend=args.backend,
+                            verify=True if args.verify else None)
 
     start = time.time()
     if not args.quiet:

@@ -28,6 +28,11 @@ class Function:
         self.cfg = ControlFlowGraph(name)
         self.arrays: dict[str, int] = {}  # local array name -> size
         self.sealed = False
+        # Blocks inserted by tools (optimizer passes, instrumentation)
+        # rather than written by the programmer.  Diagnostics attribute
+        # findings in these blocks to the inserting tool and the lint
+        # passes do not warn on them by default.
+        self.synthetic_blocks: set[str] = set()
         # Filled by seal():
         self.register_slots: dict[str, int] = {}
         self.num_slots = 0
@@ -132,6 +137,18 @@ class Function:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+
+    def mark_synthetic(self, *names: str) -> None:
+        """Tag blocks as tool-inserted (marking stays legal after seal)."""
+        self.synthetic_blocks.update(names)
+
+    def is_synthetic(self, name: str) -> bool:
+        """True when ``name`` was inserted by a tool, not the programmer.
+
+        Robust against :class:`Function` objects unpickled from caches
+        written before the tag existed.
+        """
+        return name in getattr(self, "synthetic_blocks", ())
 
     def block_names(self) -> list[str]:
         return list(self.cfg.blocks)

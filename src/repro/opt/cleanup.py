@@ -288,7 +288,9 @@ def cleanup_function(func: Function, module: Module,
                                  stats)
         if stats.total == before:
             break
-    return rebuild_function(func.name, params, arrays, blocks, entry)
+    return rebuild_function(func.name, params, arrays, blocks, entry,
+                            synthetic=set(getattr(func, "synthetic_blocks",
+                                                  ())))
 
 
 def cleanup_module(module: Module) -> tuple[Module, CleanupStats]:

@@ -154,8 +154,9 @@ def if_convert_function(func: Function, profile: FunctionEdgeProfile,
             pred_count[then_join] = pred_count.get(then_join, 2) - 1
             stats.diamonds_converted += 1
             converted = True
-    return rebuild_function(func.name, list(func.params),
-                            dict(func.arrays), blocks, entry)
+    return rebuild_function(
+        func.name, list(func.params), dict(func.arrays), blocks, entry,
+        synthetic=set(getattr(func, "synthetic_blocks", ())))
 
 
 def if_convert_module(module: Module, profile: EdgeProfile,

@@ -235,7 +235,8 @@ class _Inliner:
         for name, func in self.module.functions.items():
             new_module.functions[name] = rebuild_function(
                 name, list(func.params), self.arrays[name],
-                self.blocks[name], self.entries[name])
+                self.blocks[name], self.entries[name],
+                synthetic=set(getattr(func, "synthetic_blocks", ())))
         return new_module
 
 

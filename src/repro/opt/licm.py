@@ -194,13 +194,16 @@ def licm_function(func: Function, stats: LicmStats) -> Function:
             changed = True
             # Rebuild so dominators/loops reflect the new preheader
             # before processing outer loops.
-            current = rebuild_function(func.name, list(func.params),
-                                       dict(func.arrays), blocks, entry)
+            current = rebuild_function(
+                func.name, list(func.params), dict(func.arrays), blocks,
+                entry,
+                synthetic=set(getattr(func, "synthetic_blocks", ())))
             blocks = block_map(current)
     if not changed:
         return func
-    return rebuild_function(func.name, list(func.params),
-                            dict(func.arrays), blocks, entry)
+    return rebuild_function(
+        func.name, list(func.params), dict(func.arrays), blocks, entry,
+        synthetic=set(getattr(func, "synthetic_blocks", ())))
 
 
 def licm_module(module: Module) -> tuple[Module, LicmStats]:

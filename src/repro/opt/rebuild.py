@@ -36,8 +36,16 @@ def prune_unreachable(blocks: dict[str, list[Instr]], entry: str
 
 def rebuild_function(name: str, params: list[str],
                      arrays: dict[str, int],
-                     blocks: dict[str, list[Instr]], entry: str) -> Function:
-    """Assemble and seal a function from raw block contents."""
+                     blocks: dict[str, list[Instr]], entry: str,
+                     synthetic: set[str] | None = None) -> Function:
+    """Assemble and seal a function from raw block contents.
+
+    ``synthetic`` names blocks carried over from a function that had
+    already tagged them.  Blocks the optimizer passes mint themselves
+    use an ``@`` in the name (``@inl0``, ``@sb1``, ``body@head.u2``) and
+    are tagged automatically, so lint diagnostics attribute them to the
+    optimizer rather than the source program.
+    """
     func = Function(name, params)
     for array, size in arrays.items():
         func.add_local_array(array, size)
@@ -46,6 +54,8 @@ def rebuild_function(name: str, params: list[str],
         func.add_block(bname)
         for instr in instrs:
             func.append(bname, instr)
+        if "@" in bname or (synthetic is not None and bname in synthetic):
+            func.mark_synthetic(bname)
     func.seal(entry)
     return func
 

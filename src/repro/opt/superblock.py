@@ -139,7 +139,10 @@ class _Former:
         assert self.entry is not None
         return rebuild_function(self.func.name, list(self.func.params),
                                 dict(self.func.arrays), self.blocks,
-                                self.entry)
+                                self.entry,
+                                synthetic=set(getattr(self.func,
+                                                      "synthetic_blocks",
+                                                      ())))
 
 
 def form_superblocks(module: Module,

@@ -144,7 +144,8 @@ def unroll_module(module: Module, profile: EdgeProfile,
             entry = func.cfg.entry
             assert entry is not None
             new_module.functions[name] = rebuild_function(
-                name, list(func.params), dict(func.arrays), blocks, entry)
+                name, list(func.params), dict(func.arrays), blocks, entry,
+                synthetic=set(getattr(func, "synthetic_blocks", ())))
         else:
             new_module.functions[name] = func
     return new_module, stats

@@ -1,0 +1,295 @@
+"""The IR lint passes: each code has a positive and a negative case,
+plus the synthetic-block attribution rules the optimizers rely on."""
+
+from conftest import SMALL_PROGRAM
+
+from repro.analysis import Severity, lint_function, lint_module
+from repro.analysis.lint import (check_constant_branches, check_dead_stores,
+                                 check_shadowed_names,
+                                 check_unreachable_blocks,
+                                 check_use_before_def)
+from repro.ir import IRBuilder, Module
+from repro.lang import compile_source
+
+
+def _codes(diags):
+    return sorted(d.code for d in diags)
+
+
+# ----------------------------------------------------------------------
+# L001: use before def
+# ----------------------------------------------------------------------
+
+def _one_sided():
+    b = IRBuilder("f", params=["p"])
+    b.block("A")
+    b.branch("p", "B", "C")
+    b.block("B")
+    b.const("v", 7)
+    b.jump("D")
+    b.block("C")
+    b.jump("D")
+    b.block("D")
+    b.ret("v")
+    return b.finish("A")
+
+
+def test_use_before_def_flags_one_sided_assignment():
+    diags = check_use_before_def(_one_sided())
+    assert _codes(diags) == ["L001"]
+    assert diags[0].block == "D"
+    assert diags[0].severity is Severity.WARNING  # registers default to 0
+    assert "v" in diags[0].message
+
+
+def test_use_before_def_clean_when_assigned_on_all_paths():
+    b = IRBuilder("f", params=["p"])
+    b.block("A")
+    b.branch("p", "B", "C")
+    b.block("B")
+    b.const("v", 1)
+    b.jump("D")
+    b.block("C")
+    b.const("v", 2)
+    b.jump("D")
+    b.block("D")
+    b.ret("v")
+    assert check_use_before_def(b.finish("A")) == []
+
+
+def test_use_before_def_accepts_params():
+    b = IRBuilder("f", params=["p"])
+    b.block("A")
+    b.ret("p")
+    assert check_use_before_def(b.finish("A")) == []
+
+
+# ----------------------------------------------------------------------
+# L002: dead stores
+# ----------------------------------------------------------------------
+
+def test_dead_store_flagged_and_calls_exempt():
+    b = IRBuilder("f")
+    b.block("A")
+    b.const("v", 1)   # overwritten before any read: dead
+    b.const("v", 2)
+    b.call("w", "f", [])  # unused call result: exempt (side effects)
+    b.ret("v")
+    diags = check_dead_stores(b.finish("A"))
+    assert _codes(diags) == ["L002"]
+    assert "instruction 0" in diags[0].message
+
+
+def test_dead_store_clean_when_value_read_in_successor():
+    b = IRBuilder("f")
+    b.block("A")
+    b.const("v", 1)
+    b.jump("B")
+    b.block("B")
+    b.ret("v")
+    assert check_dead_stores(b.finish("A")) == []
+
+
+# ----------------------------------------------------------------------
+# L003: unreachable blocks
+# ----------------------------------------------------------------------
+
+def test_unreachable_block_flagged():
+    b = IRBuilder("f")
+    b.block("A")
+    b.jump("C")
+    b.block("B")  # nothing jumps here
+    b.jump("C")
+    b.block("C")
+    b.ret()
+    diags = check_unreachable_blocks(b.finish("A"))
+    assert _codes(diags) == ["L003"]
+    assert diags[0].block == "B"
+
+
+def test_all_reachable_is_clean():
+    b = IRBuilder("f")
+    b.block("A")
+    b.jump("B")
+    b.block("B")
+    b.ret()
+    assert check_unreachable_blocks(b.finish("A")) == []
+
+
+# ----------------------------------------------------------------------
+# L004: constant-condition branches
+# ----------------------------------------------------------------------
+
+def test_constant_branch_flagged_same_block():
+    b = IRBuilder("f")
+    b.block("A")
+    b.const("c", 1)
+    b.branch("c", "B", "C")
+    b.block("B")
+    b.ret()
+    b.block("C")
+    b.jump("B")
+    diags = check_constant_branches(b.finish("A"))
+    assert _codes(diags) == ["L004"]
+    assert "'B'" in diags[0].message  # names the taken arm
+
+
+def test_constant_branch_flagged_across_blocks():
+    """Both reaching definitions carry the same literal."""
+    b = IRBuilder("f", params=["p"])
+    b.block("A")
+    b.branch("p", "B", "C")
+    b.block("B")
+    b.const("c", 0)
+    b.jump("D")
+    b.block("C")
+    b.const("c", 0)
+    b.jump("D")
+    b.block("D")
+    b.branch("c", "E", "F")
+    b.block("E")
+    b.jump("F")
+    b.block("F")
+    b.ret()
+    diags = check_constant_branches(b.finish("A"))
+    assert any(d.block == "D" for d in diags)
+
+
+def test_varying_branch_not_flagged():
+    b = IRBuilder("f", params=["p"])
+    b.block("A")
+    b.branch("p", "B", "C")
+    b.block("B")
+    b.ret()
+    b.block("C")
+    b.jump("B")
+    assert check_constant_branches(b.finish("A")) == []
+
+
+def test_conflicting_constants_not_flagged():
+    b = IRBuilder("f", params=["p"])
+    b.block("A")
+    b.branch("p", "B", "C")
+    b.block("B")
+    b.const("c", 0)
+    b.jump("D")
+    b.block("C")
+    b.const("c", 1)
+    b.jump("D")
+    b.block("D")
+    b.branch("c", "E", "F")
+    b.block("E")
+    b.jump("F")
+    b.block("F")
+    b.ret()
+    assert check_constant_branches(b.finish("A")) == []
+
+
+# ----------------------------------------------------------------------
+# L005: shadowed / duplicate names
+# ----------------------------------------------------------------------
+
+def test_duplicate_parameter_flagged():
+    b = IRBuilder("f", params=["x", "x"])
+    b.block("A")
+    b.ret("x")
+    diags = check_shadowed_names(b.finish("A"))
+    assert _codes(diags) == ["L005"]
+
+
+def test_local_array_shadowing_global_flagged():
+    b = IRBuilder("f")
+    b.local_array("buf", 4)
+    b.block("A")
+    b.ret()
+    func = b.finish("A")
+    module = Module("m")
+    module.add_function(func)
+    module.add_global_array("buf", 8)
+    diags = check_shadowed_names(func, module)
+    assert _codes(diags) == ["L005"]
+    assert "local array 'buf'" in diags[0].message
+
+
+def test_param_shadowing_global_scalar_flagged():
+    b = IRBuilder("f", params=["acc"])
+    b.block("A")
+    b.ret("acc")
+    func = b.finish("A")
+    module = Module("m")
+    module.add_function(func)
+    module.add_global_scalar("acc")
+    diags = check_shadowed_names(func, module)
+    assert _codes(diags) == ["L005"]
+
+
+def test_module_level_scalar_array_clash():
+    module = Module("m")
+    b = IRBuilder("main")
+    b.block("A")
+    b.ret()
+    module.add_function(b.finish("A"))
+    module.add_global_scalar("g")
+    module.add_global_array("g", 4)
+    report = lint_module(module)
+    assert any(d.code == "L005" and "share a name" in d.message
+               for d in report.diagnostics)
+
+
+# ----------------------------------------------------------------------
+# Synthetic-block attribution
+# ----------------------------------------------------------------------
+
+def test_synthetic_findings_demoted_to_info():
+    func = _one_sided()
+    func.synthetic_blocks.add("D")
+    diags = check_use_before_def(func)
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.INFO
+    assert diags[0].synthetic
+
+
+def test_warn_synthetic_restores_severity():
+    func = _one_sided()
+    func.synthetic_blocks.add("D")
+    diags = check_use_before_def(func, warn_synthetic=True)
+    assert diags[0].severity is Severity.WARNING
+    assert diags[0].synthetic
+
+
+def test_at_sign_blocks_auto_tagged_by_rebuild():
+    """Optimizer-minted names (containing ``@``) are synthetic after a
+    rebuild, so lint attributes their findings as tool-inserted."""
+    from repro.opt.rebuild import rebuild_function
+
+    b = IRBuilder("f", params=["p"])
+    b.block("A")
+    b.branch("p", "b@sb1", "C")
+    b.block("b@sb1")
+    b.jump("C")
+    b.block("C")
+    b.ret()
+    func = b.finish("A")
+    rebuilt = rebuild_function(
+        "f", ["p"], {},
+        {n: list(func.cfg.blocks[n].instructions) for n in func.cfg.blocks},
+        "A")
+    assert rebuilt.is_synthetic("b@sb1")
+    assert not rebuilt.is_synthetic("A")
+
+
+# ----------------------------------------------------------------------
+# Whole-module smoke
+# ----------------------------------------------------------------------
+
+def test_lint_clean_on_compiled_program():
+    module = compile_source(SMALL_PROGRAM, name="small")
+    report = lint_module(module)
+    assert report.ok
+    assert not report.warnings()
+
+
+def test_lint_function_aggregates_all_passes():
+    func = _one_sided()
+    diags = lint_function(func)
+    assert "L001" in _codes(diags)

@@ -1,0 +1,97 @@
+"""Property-based verification of :class:`repro.core.PathNumbering`.
+
+The verifier's core premise is that path numbering is a bijection
+between DAG paths and ``[0, total)``; these properties pin that down
+directly on random layered DAGs, for both edge-value orderings and for
+live-subset (cold-path-eliminated) numberings:
+
+* ``number_of(decode(n)) == n`` for every ``n < total``;
+* the enumerated path ids form a gap-free permutation of ``range(total)``;
+* out-of-range decodes return ``None`` instead of garbage.
+"""
+
+import random as _random
+
+from hypothesis import given, settings
+
+from test_property_algorithms import _SETTINGS, _all_paths, layered_dags
+
+from repro.cfg import ProfilingDag
+from repro.core import number_paths
+
+
+def _numberings(dag, seed):
+    rng = _random.Random(seed * 13 + 5)
+    freqs = {e.uid: float(rng.randint(0, 100)) for e in dag.dag.edges()}
+    yield number_paths(dag, order="ballarus")
+    yield number_paths(dag, order="smart", edge_freq=freqs)
+
+
+@given(data=layered_dags())
+@settings(**_SETTINGS)
+def test_decode_number_of_round_trips_every_id(data):
+    cfg, seed = data
+    dag = ProfilingDag(cfg)
+    for numbering in _numberings(dag, seed):
+        if numbering.total > 2000:
+            return
+        for n in range(numbering.total):
+            path = numbering.decode(n)
+            assert path is not None, n
+            assert numbering.number_of(path) == n
+
+
+@given(data=layered_dags())
+@settings(**_SETTINGS)
+def test_enumerated_ids_are_a_gap_free_permutation(data):
+    cfg, seed = data
+    dag = ProfilingDag(cfg)
+    paths = _all_paths(dag)
+    if len(paths) > 2000:
+        return
+    for numbering in _numberings(dag, seed):
+        assert numbering.total == len(paths)
+        ids = sorted(numbering.number_of(p) for p in paths)
+        assert ids == list(range(numbering.total))
+
+
+@given(data=layered_dags())
+@settings(**_SETTINGS)
+def test_out_of_range_decodes_return_none(data):
+    cfg, _seed = data
+    numbering = number_paths(ProfilingDag(cfg))
+    assert numbering.decode(numbering.total) is None
+    assert numbering.decode(-1) is None
+    assert numbering.decode(numbering.total + 17) is None
+
+
+@given(data=layered_dags())
+@settings(**_SETTINGS)
+def test_live_subset_numbering_still_bijective(data):
+    """Numbering restricted to a live-edge subset (as cold-path
+    elimination produces) must stay a bijection over the live paths."""
+    cfg, seed = data
+    dag = ProfilingDag(cfg)
+    edges = sorted(dag.dag.edges(), key=lambda e: e.uid)
+    rng = _random.Random(seed * 31 + 7)
+    # Drop a random subset of non-entry/exit-critical edges; keep at
+    # least one outgoing edge per branching node so some paths survive.
+    live = set()
+    for v in dag.dag.blocks:
+        out = dag.dag.out_edges(v)
+        if not out:
+            continue
+        keep = [e for e in out if rng.random() > 0.3] or [out[0]]
+        live.update(e.uid for e in keep)
+    numbering = number_paths(dag, live=live)
+    live_paths = [p for p in _all_paths(dag)
+                  if all(e.uid in live for e in p)]
+    if len(live_paths) > 2000:
+        return
+    assert numbering.total == len(live_paths)
+    ids = sorted(numbering.number_of(p) for p in live_paths)
+    assert ids == list(range(numbering.total))
+    for n in range(numbering.total):
+        decoded = numbering.decode(n)
+        assert decoded is not None
+        assert numbering.number_of(decoded) == n
