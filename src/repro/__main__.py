@@ -29,6 +29,14 @@ Subcommands
     Run the dataflow-backed IR lint passes (use-before-def, dead
     stores, unreachable blocks, constant branches, shadowed names) over
     one file or the expanded suite modules.
+``equiv [FILE | --suite]``
+    Translation validation: symbolically prove the compiled backend's
+    generated code equivalent to the IR under every observation mode,
+    and prove each optimizer pass semantics-preserving via a per-pass
+    simulation relation.  Exits nonzero on any mismatch.
+
+``verify``, ``lint``, and ``equiv`` accept ``--json`` for a structured
+report (one JSON document on stdout) that CI can diff.
 
 Examples::
 
@@ -39,6 +47,7 @@ Examples::
     python -m repro cache info
     python -m repro verify --suite
     python -m repro lint program.minic
+    python -m repro equiv --suite --json
 """
 
 from __future__ import annotations
@@ -243,13 +252,20 @@ def cmd_verify(args) -> int:
     else:
         raise CliError("verify needs a FILE or --suite")
 
-    failed = 0
+    failed = sum(1 for report in reports if not report.ok)
+    if args.json:
+        import json
+        print(json.dumps({
+            "command": "verify", "ok": not failed,
+            "plans": len(reports), "failed": failed,
+            "elapsed_s": round(time.time() - start, 3),
+            "reports": [r.to_dict() for r in reports],
+        }, indent=2, sort_keys=True))
+        return 1 if failed else 0
     for report in reports:
         for diag in report:
             if diag.severity >= Severity.WARNING or args.verbose:
                 print(f"{report.title}: {diag.format()}")
-        if not report.ok:
-            failed += 1
         if not args.quiet:
             status = "FAIL" if not report.ok else "ok"
             print(f"[{status}] {report.summary()}")
@@ -273,21 +289,88 @@ def cmd_lint(args) -> int:
         raise CliError("lint needs a FILE or --suite")
 
     errors = warnings = 0
+    results = []
     for name, module in modules:
         report = lint_module(module, warn_synthetic=args.warn_synthetic)
-        for diag in report:
-            if diag.severity >= Severity.WARNING or args.verbose:
-                print(f"{name}: {diag.format()}")
+        report.title = report.title or name
+        results.append((name, report))
         errors += len(report.errors())
         warnings += len(report.warnings())
-        if not args.quiet:
-            print(f"[{name}] {report.summary()}")
-    print(f"lint: {errors} error{'s' if errors != 1 else ''}, "
-          f"{warnings} warning{'s' if warnings != 1 else ''} across "
-          f"{len(modules)} module{'s' if len(modules) != 1 else ''}")
+    if args.json:
+        import json
+        print(json.dumps({
+            "command": "lint",
+            "ok": not (errors or (args.strict and warnings)),
+            "errors": errors, "warnings": warnings,
+            "reports": [dict(r.to_dict(), module=name)
+                        for name, r in results],
+        }, indent=2, sort_keys=True))
+    else:
+        for name, report in results:
+            for diag in report:
+                if diag.severity >= Severity.WARNING or args.verbose:
+                    print(f"{name}: {diag.format()}")
+            if not args.quiet:
+                print(f"[{name}] {report.summary()}")
+        print(f"lint: {errors} error{'s' if errors != 1 else ''}, "
+              f"{warnings} warning{'s' if warnings != 1 else ''} across "
+              f"{len(modules)} module{'s' if len(modules) != 1 else ''}")
     if errors or (args.strict and warnings):
         return 1
     return 0
+
+
+def _parse_passes(spec: str) -> tuple[str, ...]:
+    from .analysis import PASS_NAMES
+    passes = tuple(p.strip() for p in spec.split(",") if p.strip())
+    for name in passes:
+        if name not in PASS_NAMES:
+            raise CliError(f"unknown pass {name!r}; expected a subset "
+                           f"of {','.join(PASS_NAMES)}")
+    return passes
+
+
+def cmd_equiv(args) -> int:
+    import time
+
+    from .analysis import PASS_NAMES, Severity, equiv_module, equiv_suite
+
+    passes = _parse_passes(args.passes) if args.passes else PASS_NAMES
+    start = time.time()
+    if args.suite or args.benchmarks:
+        session = _suite_session(args.cache_dir)
+        results = equiv_suite(session, _chosen_workloads(args.benchmarks),
+                              passes=passes)
+    elif args.file:
+        module = _load(args.file)
+        results = [(args.file, label, report)
+                   for label, report in equiv_module(module, passes=passes)]
+    else:
+        raise CliError("equiv needs a FILE or --suite")
+
+    failed = sum(1 for _n, _l, report in results if not report.ok)
+    if args.json:
+        import json
+        print(json.dumps({
+            "command": "equiv", "ok": not failed,
+            "checks": len(results), "failed": failed,
+            "elapsed_s": round(time.time() - start, 3),
+            "reports": [dict(report.to_dict(), module=name, check=label)
+                        for name, label, report in results],
+        }, indent=2, sort_keys=True))
+        return 1 if failed else 0
+    for name, label, report in results:
+        for diag in report:
+            if diag.severity >= Severity.WARNING or args.verbose:
+                print(f"{name}/{label}: {diag.format()}")
+        if not args.quiet:
+            status = "FAIL" if not report.ok else "ok"
+            print(f"[{status}] {name}/{label}: {report.summary()}")
+    checks = len(results)
+    print(f"equiv: {checks} check{'s' if checks != 1 else ''}: "
+          f"{checks - failed} ok, {failed} failed "
+          f"({time.time() - start:.1f}s)")
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -357,6 +440,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--cache-dir", default="results/.cache",
                           help="artifact cache directory for --suite "
                                "(empty = memory only)")
+    p_verify.add_argument("--json", action="store_true",
+                          help="emit one structured JSON report on stdout")
     p_verify.add_argument("--verbose", action="store_true",
                           help="also print informational findings")
     p_verify.add_argument("--quiet", action="store_true",
@@ -379,11 +464,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--cache-dir", default="results/.cache",
                         help="artifact cache directory for --suite "
                              "(empty = memory only)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit one structured JSON report on stdout")
     p_lint.add_argument("--verbose", action="store_true",
                         help="also print informational findings")
     p_lint.add_argument("--quiet", action="store_true",
                         help="only print findings and the final line")
     p_lint.set_defaults(fn=cmd_lint)
+
+    p_equiv = sub.add_parser(
+        "equiv", help="translation-validate codegen and optimizer passes")
+    p_equiv.add_argument("file", nargs="?",
+                         help="a MiniC file (omit with --suite)")
+    p_equiv.add_argument("--suite", action="store_true",
+                         help="validate every workload-suite module")
+    p_equiv.add_argument("--benchmarks", default="",
+                         help="comma-separated benchmark subset")
+    p_equiv.add_argument("--passes", default="",
+                         help="comma-separated subset of the optimizer "
+                              "passes to validate (default: all six)")
+    p_equiv.add_argument("--cache-dir", default="results/.cache",
+                         help="artifact cache directory for --suite "
+                              "(empty = memory only)")
+    p_equiv.add_argument("--json", action="store_true",
+                         help="emit one structured JSON report on stdout")
+    p_equiv.add_argument("--verbose", action="store_true",
+                         help="also print informational findings")
+    p_equiv.add_argument("--quiet", action="store_true",
+                         help="only print failures and the final line")
+    p_equiv.set_defaults(fn=cmd_equiv)
     return parser
 
 

@@ -11,15 +11,28 @@ Three layers, all reporting structured :class:`Diagnostic` records:
 * :mod:`repro.analysis.verify` — the static plan verifier proving the
   Ball–Larus numbering/placement/poisoning invariants for PP/TPP/PPP
   plans, plus :mod:`repro.analysis.mutate` for seeding corruptions the
-  verifier must catch.
+  verifier must catch;
+* :mod:`repro.analysis.symexec` / :mod:`repro.analysis.equiv` — the
+  translation validator: a concolic symbolic executor over the register
+  IR, a codegen client proving the compiled backend's generated Python
+  equivalent to the IR it was emitted from, and a pass client proving a
+  per-pass simulation relation between pre- and post-optimization CFGs.
 """
 
 from .dataflow import (DataflowProblem, DataflowResult, Def,
                        DefiniteAssignment, DominatorSets, LiveRegisters,
                        ReachingDefinitions, dominance_frontiers, solve)
 from .diagnostics import Diagnostic, Report, Severity
+from .equiv import (PASS_NAMES, CodegenValidationError, ExploreLimits,
+                    apply_pass, check_function_codegen, check_generated,
+                    check_module_codegen, check_pass, equiv_module,
+                    equiv_suite, standard_modes)
 from .lint import lint_function, lint_module
-from .mutate import MUTATIONS, applicable_mutations, mutate_plan
+from .mutate import (CODEGEN_MUTATIONS, MUTATIONS, PASS_MUTATIONS,
+                     applicable_mutations, mutate_module, mutate_plan,
+                     mutate_source)
+from .symexec import (IRSymbolicExecutor, SymState, Term, TermFactory,
+                      format_term, ops_equal)
 from .verify import (DEFAULT_PATH_CAP, PlanVerificationError,
                      verify_function_plan, verify_module_plan,
                      verify_suite)
@@ -29,8 +42,15 @@ __all__ = [
     "DominatorSets", "LiveRegisters", "ReachingDefinitions",
     "dominance_frontiers", "solve",
     "Diagnostic", "Report", "Severity",
+    "PASS_NAMES", "CodegenValidationError", "ExploreLimits", "apply_pass",
+    "check_function_codegen", "check_generated", "check_module_codegen",
+    "check_pass", "equiv_module", "equiv_suite", "standard_modes",
     "lint_function", "lint_module",
-    "MUTATIONS", "applicable_mutations", "mutate_plan",
+    "CODEGEN_MUTATIONS", "MUTATIONS", "PASS_MUTATIONS",
+    "applicable_mutations", "mutate_module", "mutate_plan",
+    "mutate_source",
+    "IRSymbolicExecutor", "SymState", "Term", "TermFactory",
+    "format_term", "ops_equal",
     "DEFAULT_PATH_CAP", "PlanVerificationError", "verify_function_plan",
     "verify_module_plan", "verify_suite",
 ]

@@ -57,6 +57,18 @@ class Diagnostic:
             text += f" (hint: {self.hint})"
         return text
 
+    def to_dict(self) -> dict:
+        """A JSON-serialisable view (for ``--json`` CLI output)."""
+        return {
+            "severity": self.severity.label(),
+            "code": self.code,
+            "message": self.message,
+            "function": self.function,
+            "block": self.block,
+            "hint": self.hint,
+            "synthetic": self.synthetic,
+        }
+
 
 @dataclass
 class Report:
@@ -111,3 +123,13 @@ class Report:
                  if d.severity >= min_severity]
         lines.append(self.summary())
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable view (for ``--json`` CLI output)."""
+        return {
+            "title": self.title,
+            "ok": self.ok,
+            "errors": len(self.errors()),
+            "warnings": len(self.warnings()),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }

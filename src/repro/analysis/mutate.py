@@ -1,21 +1,36 @@
-"""Seeded corruption of instrumentation plans, for verifier testing.
+"""Seeded corruptions, for verifier and equivalence-checker testing.
 
-Each mutation kind makes one small, realistic corruption to a deep copy
-of a :class:`~repro.core.pipeline.ModulePlan` — the kind of damage a
-placement bug would cause — and the test suite asserts that
-:func:`repro.analysis.verify.verify_module_plan` flags every one of
-them while passing the pristine plan.  Mutations are deterministic:
-the first applicable site (in sorted edge-uid order, over functions in
-plan order) is corrupted.
+Three families, all deterministic (the first applicable site wins) and
+all applied to copies — never to the caller's object:
+
+* **plan mutations** (:func:`mutate_plan`) corrupt a
+  :class:`~repro.core.pipeline.ModulePlan` the way a placement bug
+  would; :func:`repro.analysis.verify.verify_module_plan` must flag
+  every one while passing the pristine plan;
+* **codegen mutations** (:func:`mutate_source`) corrupt the Python
+  source emitted by :func:`repro.interp.codegen.generate_source` the
+  way an emitter bug would (wrong bounce target, dropped observation,
+  mis-billed cost); the codegen client of
+  :mod:`repro.analysis.equiv` must flag every one;
+* **pass mutations** (:func:`mutate_module`) corrupt a transformed
+  :class:`~repro.ir.function.Module` the way an optimizer bug would
+  (retargeted jump, stale register rename, nudged constant),
+  preferring the optimizer's own synthetic blocks; the pass client of
+  :mod:`repro.analysis.equiv` must flag every one.
 """
 
 from __future__ import annotations
 
 import copy
+import re
 from typing import Callable, Iterator, Optional
 
 from ..core.ops import AddReg, CountConst, CountReg, InstrOp, SetReg
 from ..core.pipeline import FunctionPlan, ModulePlan
+from ..ir.function import Function, Module
+from ..ir.instructions import (BinOp, Branch, Call, Const, GlobalStore,
+                               Instr, Jump, Load, Mov, Ret, Select,
+                               Store, UnOp)
 
 
 def _op_sites(fplan: FunctionPlan
@@ -195,3 +210,278 @@ def applicable_mutations(mplan: ModulePlan) -> list[str]:
     """The mutation kinds that have at least one site in this plan."""
     return [kind for kind in MUTATIONS
             if mutate_plan(mplan, kind) is not None]
+
+
+# ----------------------------------------------------------------------
+# Codegen mutations: corrupting generated Python source
+# ----------------------------------------------------------------------
+
+def _sub_first(pattern: str,
+               repl: "str | Callable[[re.Match[str]], str]",
+               source: str) -> Optional[str]:
+    """One regex substitution at the first match, or None if no match."""
+    mutated, count = re.subn(pattern, repl, source, count=1, flags=re.M)
+    return mutated if count else None
+
+
+def _cg_wrong_goto(source: str) -> Optional[str]:
+    """Bounce to the wrong trampoline segment."""
+    num_segments = source.count("def _seg_")
+    if num_segments < 2:
+        return None
+    return _sub_first(
+        r"^(\s*)return (\d+)$",
+        lambda m: f"{m.group(1)}return "
+                  f"{(int(m.group(2)) + 1) % num_segments}",
+        source)
+
+
+def _cg_drop_count(source: str) -> Optional[str]:
+    """Drop one fused edge-profile increment."""
+    return _sub_first(r"^\s*_ec\[\d+\] \+= 1\n", "", source)
+
+
+def _cg_drop_hook(source: str) -> Optional[str]:
+    """Drop one fused edge-hook invocation."""
+    return _sub_first(r"^\s*_h\d+\(frame\)\n", "", source)
+
+
+def _cg_drop_append(source: str) -> Optional[str]:
+    """Drop one path-tracer block append."""
+    return _sub_first(r"^\s*frame\.path_blocks\.append\([^\n]*\)\n", "",
+                      source)
+
+
+def _cg_drop_cost(source: str) -> Optional[str]:
+    """Drop one instruction-count charge."""
+    return _sub_first(r"^\s*_ic\[0\] \+= \d+\n", "", source)
+
+
+def _cg_swap_arith(source: str) -> Optional[str]:
+    """Turn one generated addition into a subtraction."""
+    return _sub_first(
+        r"^(\s*regs\[\d+\] = regs\[\d+\]) \+ (regs\[\d+\])$",
+        r"\1 - \2", source)
+
+
+def _cg_wrong_slot(source: str) -> Optional[str]:
+    """Write one result into the neighbouring register slot."""
+    return _sub_first(
+        r"^(\s*)regs\[(\d+)\] = ",
+        lambda m: f"{m.group(1)}regs[{int(m.group(2)) + 1}] = ",
+        source)
+
+
+def _cg_flip_branch(source: str) -> Optional[str]:
+    """Invert one generated branch condition."""
+    return _sub_first(r"^(\s*)if (regs\[\d+\]):$", r"\1if not \2:",
+                      source)
+
+
+_CODEGEN_MUTATORS: dict[str, Callable[[str], Optional[str]]] = {
+    "cg-wrong-goto": _cg_wrong_goto,
+    "cg-drop-count": _cg_drop_count,
+    "cg-drop-hook": _cg_drop_hook,
+    "cg-drop-append": _cg_drop_append,
+    "cg-drop-cost": _cg_drop_cost,
+    "cg-swap-arith": _cg_swap_arith,
+    "cg-wrong-slot": _cg_wrong_slot,
+    "cg-flip-branch": _cg_flip_branch,
+}
+
+CODEGEN_MUTATIONS: tuple[str, ...] = tuple(_CODEGEN_MUTATORS)
+
+
+def mutate_source(source: str, kind: str) -> Optional[str]:
+    """Generated source with one seeded corruption of ``kind``, or
+    ``None`` when the source offers no applicable site (e.g. no hook
+    calls in a hookless mode)."""
+    if kind not in _CODEGEN_MUTATORS:
+        raise ValueError(f"unknown codegen mutation kind {kind!r}; "
+                         f"choose from {', '.join(CODEGEN_MUTATIONS)}")
+    return _CODEGEN_MUTATORS[kind](source)
+
+
+# ----------------------------------------------------------------------
+# Pass mutations: corrupting a transformed IR module
+# ----------------------------------------------------------------------
+
+def _block_sites(module: Module) -> Iterator[tuple[Function, str,
+                                                   list[Instr]]]:
+    """(function, block name, instructions), optimizer-made synthetic
+    blocks first, then everything else, deterministically."""
+    for synthetic_pass in (True, False):
+        for fname in sorted(module.functions):
+            func = module.functions[fname]
+            for bname in sorted(func.cfg.blocks):
+                if func.is_synthetic(bname) != synthetic_pass:
+                    continue
+                yield func, bname, func.cfg.blocks[bname].instructions
+
+
+def _reads_of(instr: Instr) -> tuple[str, ...]:
+    return instr.registers_read()
+
+
+#: Attribute names holding a *read* register, per instruction class.
+_READ_FIELDS: dict[type, tuple[str, ...]] = {
+    Mov: ("src",),
+    BinOp: ("a", "b"),
+    UnOp: ("a",),
+    Select: ("cond", "a", "b"),
+    Load: ("idx",),
+    Store: ("idx", "src"),
+    GlobalStore: ("src",),
+    Branch: ("cond",),
+    Ret: ("src",),
+}
+
+
+def _opt_retarget_jump(module: Module) -> bool:
+    """Point one jump at a different (existing) block."""
+    for func, bname, instrs in _block_sites(module):
+        term = instrs[-1]
+        if not isinstance(term, Jump):
+            continue
+        for other in sorted(func.cfg.blocks):
+            if other not in (term.target, bname):
+                term.target = other
+                return True
+    return False
+
+
+def _opt_swap_branch(module: Module) -> bool:
+    """Swap one branch's then/else arms."""
+    for _func, _bname, instrs in _block_sites(module):
+        term = instrs[-1]
+        if (isinstance(term, Branch)
+                and term.then_target != term.else_target):
+            term.then_target, term.else_target = \
+                term.else_target, term.then_target
+            return True
+    return False
+
+
+def _stale_name(reg: str) -> Optional[str]:
+    """Undo an optimizer rename: ``@inl0$x`` -> ``x`` (inline),
+    ``t@ict1.0`` -> ``t`` (if-convert / clone tags)."""
+    if "$" in reg:
+        return reg.split("$", 1)[1]
+    if "@" in reg:
+        base = reg.split("@", 1)[0]
+        return base if base else None
+    return None
+
+
+def _opt_stale_rename(module: Module) -> bool:
+    """Replace one renamed register *read* with its pre-rename name."""
+    for _func, _bname, instrs in _block_sites(module):
+        for instr in instrs:
+            for field in _READ_FIELDS.get(type(instr), ()):
+                reg = getattr(instr, field)
+                if not isinstance(reg, str):
+                    continue
+                stale = _stale_name(reg)
+                if stale is not None and stale != reg:
+                    setattr(instr, field, stale)
+                    return True
+            if isinstance(instr, Call):
+                for position, reg in enumerate(instr.args):
+                    stale = _stale_name(reg)
+                    if stale is not None and stale != reg:
+                        args = list(instr.args)
+                        args[position] = stale
+                        instr.args = tuple(args)
+                        return True
+    return False
+
+
+def _feeds_observable(instrs: list[Instr], index: int, dst: str) -> bool:
+    """Does ``dst`` (defined at ``index``) reach a store, call, return,
+    or branch in the same block before being redefined?"""
+    for instr in instrs[index + 1:]:
+        if dst in _reads_of(instr) or (
+                isinstance(instr, Branch) and instr.cond == dst):
+            if isinstance(instr, (Store, GlobalStore, Call, Ret,
+                                  Branch)):
+                return True
+            # Flows onward through a pure op: chase that value too.
+            written = instr.register_written()
+            if written is not None and _feeds_observable(
+                    instrs, instrs.index(instr), written):
+                return True
+        if instr.register_written() == dst:
+            return False
+    return False
+
+
+def _opt_const_nudge(module: Module) -> bool:
+    """Nudge one constant that feeds observable behaviour by one."""
+    fallback: Optional[Const] = None
+    for _func, _bname, instrs in _block_sites(module):
+        for index, instr in enumerate(instrs):
+            if not (isinstance(instr, Const)
+                    and isinstance(instr.value, (int, float))):
+                continue
+            if _feeds_observable(instrs, index, instr.dst):
+                instr.value += 1
+                return True
+            if fallback is None:
+                fallback = instr
+    if fallback is not None:
+        fallback.value += 1
+        return True
+    return False
+
+
+def _opt_drop_instr(module: Module) -> bool:
+    """Delete one observable instruction (a store, preferably)."""
+    fallback: Optional[tuple[list[Instr], int]] = None
+    for _func, _bname, instrs in _block_sites(module):
+        for index, instr in enumerate(instrs[:-1]):
+            if isinstance(instr, (Store, GlobalStore)):
+                del instrs[index]
+                return True
+            if fallback is None and not isinstance(instr, Call):
+                fallback = (instrs, index)
+    if fallback is not None:
+        fallback[0].pop(fallback[1])
+        return True
+    return False
+
+
+def _opt_dup_store(module: Module) -> bool:
+    """Execute one store twice."""
+    for _func, _bname, instrs in _block_sites(module):
+        for index, instr in enumerate(instrs[:-1]):
+            if isinstance(instr, (Store, GlobalStore)):
+                instrs.insert(index, copy.copy(instr))
+                return True
+    return False
+
+
+_PASS_MUTATORS: dict[str, Callable[[Module], bool]] = {
+    "opt-retarget-jump": _opt_retarget_jump,
+    "opt-swap-branch": _opt_swap_branch,
+    "opt-stale-rename": _opt_stale_rename,
+    "opt-const-nudge": _opt_const_nudge,
+    "opt-drop-instr": _opt_drop_instr,
+    "opt-dup-store": _opt_dup_store,
+}
+
+PASS_MUTATIONS: tuple[str, ...] = tuple(_PASS_MUTATORS)
+
+
+def mutate_module(module: Module, kind: str) -> Optional[Module]:
+    """A deep-copied module with one seeded corruption of ``kind``, or
+    ``None`` when the module offers no applicable site.  The copy
+    matters: optimizer passes share instruction objects between the
+    pre- and post-transform modules, so corrupting in place would
+    corrupt both sides of the simulation identically."""
+    if kind not in _PASS_MUTATORS:
+        raise ValueError(f"unknown pass mutation kind {kind!r}; "
+                         f"choose from {', '.join(PASS_MUTATIONS)}")
+    mutated = copy.deepcopy(module)
+    if not _PASS_MUTATORS[kind](mutated):
+        return None
+    return mutated

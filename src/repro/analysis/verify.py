@@ -622,8 +622,11 @@ def verify_suite(session: "ProfilingSession",
     """Verify the PP/TPP/PPP plans for every workload in the suite.
 
     Plans (and the traces TPP/PPP plan from) come through the session,
-    so repeated runs are served from its artifact cache.
+    so repeated runs are served from its artifact cache — and so are the
+    verdicts themselves: each :class:`Report` is cached under the plan's
+    fingerprint, making a warm suite re-run a pure cache read.
     """
+    from ..engine.fingerprint import fingerprint_text
     from ..workloads import SUITE
 
     chosen = list(workloads) if workloads is not None else list(SUITE)
@@ -636,10 +639,17 @@ def verify_suite(session: "ProfilingSession",
         if any(t != "pp" for t in techs):
             _actual, edge_profile, _rv = session.trace(module)
         for technique in techs:
-            plan = session.plan(
-                technique, module,
-                None if technique == "pp" else edge_profile, config)
-            report = verify_module_plan(plan, path_cap)
+            profile = None if technique == "pp" else edge_profile
+            plan_key = session.plan_key(technique, module, profile, config)
+            key = fingerprint_text("verify-report", plan_key,
+                                   str(path_cap))
+
+            def compute() -> Report:
+                plan = session.plan(technique, module, profile, config)
+                return verify_module_plan(plan, path_cap)
+
+            report = session.cache.get_or_compute("verifyreport", key,
+                                                  compute)
             report.title = f"{workload.name}/{technique}"
             reports.append(report)
     return reports

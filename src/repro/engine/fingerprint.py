@@ -27,7 +27,9 @@ from ..profiles.serialize import edge_profile_to_dict
 # semantics, result dataclass layout, ...); it salts every key, so old
 # on-disk entries simply stop matching instead of being misread.
 # 2: execution-stage keys carry the interpreter backend.
-CACHE_SCHEMA_VERSION = 3
+# 3: synthetic-block tags threaded through optimizer rebuilds.
+# 4: cached verifier/equivalence Reports (verifyreport/equiv kinds).
+CACHE_SCHEMA_VERSION = 4
 
 _SEP = "\x1f"  # unit separator: cannot appear in the joined parts
 

@@ -125,15 +125,23 @@ class ProfilingSession:
     # Back-half stages
     # ------------------------------------------------------------------
 
+    def plan_key(self, technique: str, module: Module,
+                 edge_profile: Optional[EdgeProfile] = None,
+                 config: Optional[ProfilerConfig] = None) -> str:
+        """The cache fingerprint of a plan; everything derived from a
+        plan (the plan itself, verifier verdicts) is keyed off this."""
+        cfg = self.config if config is None else config
+        return fingerprint_text("plan", technique,
+                                fingerprint_module(module),
+                                fingerprint_edge_profile(edge_profile),
+                                fingerprint_config(cfg))
+
     def plan(self, technique: str, module: Module,
              edge_profile: Optional[EdgeProfile] = None,
              config: Optional[ProfilerConfig] = None) -> ModulePlan:
         """A cached PP/TPP/PPP instrumentation plan."""
         cfg = self.config if config is None else config
-        key = fingerprint_text("plan", technique,
-                               fingerprint_module(module),
-                               fingerprint_edge_profile(edge_profile),
-                               fingerprint_config(cfg))
+        key = self.plan_key(technique, module, edge_profile, cfg)
         plan = self.cache.get_or_compute(
             "plan", key,
             lambda: stages.plan_stage(technique, module, edge_profile, cfg))

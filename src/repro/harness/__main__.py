@@ -65,6 +65,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="statically verify every instrumentation "
                              "plan before running it (or set "
                              "REPRO_VERIFY=1); fails fast on a bad plan")
+    parser.add_argument("--equiv", action="store_true",
+                        help="translation-validate every piece of "
+                             "generated code before executing it (or set "
+                             "REPRO_EQUIV=1); fails fast on a mismatch")
     parser.add_argument("--cache-dir", metavar="DIR",
                         default=DEFAULT_CACHE_DIR,
                         help="on-disk cache directory (default "
@@ -82,6 +86,12 @@ def main(argv: list[str] | None = None) -> int:
                      for n in args.benchmarks.split(",") if n.strip()]
     else:
         workloads = SUITE
+
+    if args.equiv:
+        # Resolved by every Machine (including the ones worker
+        # processes build), exactly like REPRO_VERIFY.
+        import os
+        os.environ["REPRO_EQUIV"] = "1"
 
     session = build_session(jobs=args.jobs, no_cache=args.no_cache,
                             cache_dir=args.cache_dir, backend=args.backend,

@@ -242,6 +242,13 @@ class Machine:
         ``"tuple"`` (the reference tuple-dispatch interpreter).  ``None``
         consults the ``REPRO_BACKEND`` environment variable.  Both
         backends produce identical :class:`RunResult`\\ s.
+    validate_codegen:
+        Run the translation validator from :mod:`repro.analysis.equiv`
+        over every piece of generated code before executing it, raising
+        :class:`~repro.analysis.equiv.CodegenValidationError` on any
+        mismatch.  ``None`` consults the ``REPRO_EQUIV`` environment
+        variable.  Only meaningful for the compiled backend; verdicts
+        are cached per function x mode, so steady state is free.
     """
 
     def __init__(self, module: Module, collect_edge_profile: bool = False,
@@ -250,9 +257,14 @@ class Machine:
                  max_instructions: int = 500_000_000,
                  path_listener: Optional[
                      Callable[[str, tuple[str, ...]], None]] = None,
-                 backend: Optional[str] = None):
+                 backend: Optional[str] = None,
+                 validate_codegen: Optional[bool] = None):
         self.module = module
         self.backend = resolve_backend(backend)
+        if validate_codegen is None:
+            validate_codegen = os.environ.get(
+                "REPRO_EQUIV", "") not in ("", "0")
+        self.validate_codegen = validate_codegen
         self._backend_impl = None  # lazily-built CompiledBackend
         self._last_return: object = 0
         self.collect_edge_profile = collect_edge_profile
