@@ -17,7 +17,7 @@ Subcommands
 ``dot FILE FUNCTION``
     Emit Graphviz DOT for one function's CFG (``--dag`` for its
     profiling DAG with numbering values).
-``cache {info,clear}``
+``cache {info,verify,gc,clear}``
     Inspect or empty the on-disk artifact cache the experiment harness
     keeps under ``results/.cache`` (see ``repro.engine``).
 ``verify [FILE | --suite]``
@@ -189,6 +189,20 @@ def cmd_cache(args) -> int:
               f"({cache.disk_size_bytes() / 1024:.1f} KB)")
         for kind in sorted(by_kind):
             print(f"  {kind}: {by_kind[kind]}")
+        quarantined = cache.quarantined_files()
+        if quarantined:
+            print(f"  quarantined: {len(quarantined)} (run "
+                  f"'repro cache gc' to delete)")
+        return 0
+    if args.action == "verify":
+        ok, quarantined = cache.verify_disk()
+        print(f"verified {ok + quarantined} artifacts: {ok} ok, "
+              f"{quarantined} corrupt (quarantined)")
+        return 1 if quarantined else 0
+    if args.action == "gc":
+        removed, reclaimed = cache.gc_disk()
+        print(f"removed {removed} quarantined/stale files "
+              f"({reclaimed / 1024:.1f} KB) from {args.dir}")
         return 0
     removed = cache.clear(disk=True)
     print(f"removed {removed} cached artifacts from {args.dir}")
@@ -205,11 +219,25 @@ def _parse_techniques(spec: str) -> tuple[str, ...]:
     return techs
 
 
-def _suite_session(cache_dir: str):
+def _suite_session(cache_dir: str, args=None):
     from .engine import ArtifactCache, ProfilingSession
     cache = (ArtifactCache(disk_dir=cache_dir) if cache_dir
              else ArtifactCache())
-    return ProfilingSession(cache=cache)
+    timeout = getattr(args, "timeout", None)
+    retries = getattr(args, "retries", 2)
+    chaos = getattr(args, "chaos", "")
+    if chaos:
+        # Validate up front, then publish through the environment so
+        # forked worker processes observe the same fault plan.
+        import os
+        from .engine import faults
+        try:
+            plan = faults.FaultPlan.from_spec(chaos)
+        except faults.FaultSpecError as exc:
+            raise CliError(f"--chaos: {exc}") from exc
+        os.environ[faults.ENV_VAR] = plan.to_spec()
+        faults.install_plan(plan)
+    return ProfilingSession(cache=cache, timeout=timeout, retries=retries)
 
 
 def _chosen_workloads(spec: str):
@@ -233,7 +261,7 @@ def cmd_verify(args) -> int:
         args.path_cap = DEFAULT_PATH_CAP
     start = time.time()
     if args.suite or args.benchmarks:
-        session = _suite_session(args.cache_dir)
+        session = _suite_session(args.cache_dir, args)
         reports = verify_suite(session, _chosen_workloads(args.benchmarks),
                                techniques=_parse_techniques(args.techniques),
                                path_cap=args.path_cap)
@@ -280,7 +308,7 @@ def cmd_lint(args) -> int:
     from .analysis import Severity, lint_module
 
     if args.suite or args.benchmarks:
-        session = _suite_session(args.cache_dir)
+        session = _suite_session(args.cache_dir, args)
         modules = [(w.name, session.expand(w).module)
                    for w in _chosen_workloads(args.benchmarks)]
     elif args.file:
@@ -338,7 +366,7 @@ def cmd_equiv(args) -> int:
     passes = _parse_passes(args.passes) if args.passes else PASS_NAMES
     start = time.time()
     if args.suite or args.benchmarks:
-        session = _suite_session(args.cache_dir)
+        session = _suite_session(args.cache_dir, args)
         results = equiv_suite(session, _chosen_workloads(args.benchmarks),
                               passes=passes)
     elif args.file:
@@ -371,6 +399,21 @@ def cmd_equiv(args) -> int:
           f"{checks - failed} ok, {failed} failed "
           f"({time.time() - start:.1f}s)")
     return 1 if failed else 0
+
+
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
+    """The fault-tolerance knobs shared by the suite-driving commands."""
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock limit per workload task when the "
+                             "session fans out; timed-out tasks retry")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="retry budget per task before inline "
+                             "fallback (default 2)")
+    parser.add_argument("--chaos", metavar="SPEC", default="",
+                        help="deterministic fault-injection plan (or set "
+                             "REPRO_FAULTS), e.g. "
+                             "'seed=7,corrupt-write=trace:0'")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -419,7 +462,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cache = sub.add_parser("cache",
                              help="inspect or clear the artifact cache")
-    p_cache.add_argument("action", choices=("info", "clear"))
+    p_cache.add_argument("action",
+                         choices=("info", "verify", "gc", "clear"))
     p_cache.add_argument("--dir", default="results/.cache",
                          help="cache directory (default results/.cache)")
     p_cache.set_defaults(fn=cmd_cache)
@@ -446,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also print informational findings")
     p_verify.add_argument("--quiet", action="store_true",
                           help="only print failures and the final line")
+    _add_fault_options(p_verify)
     p_verify.set_defaults(fn=cmd_verify)
 
     p_lint = sub.add_parser(
@@ -470,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also print informational findings")
     p_lint.add_argument("--quiet", action="store_true",
                         help="only print findings and the final line")
+    _add_fault_options(p_lint)
     p_lint.set_defaults(fn=cmd_lint)
 
     p_equiv = sub.add_parser(
@@ -492,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also print informational findings")
     p_equiv.add_argument("--quiet", action="store_true",
                          help="only print failures and the final line")
+    _add_fault_options(p_equiv)
     p_equiv.set_defaults(fn=cmd_equiv)
     return parser
 

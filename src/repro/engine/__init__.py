@@ -12,21 +12,27 @@ through a session; the old :func:`repro.harness.run_workload` /
 """
 
 from .cache import ArtifactCache, CacheStats, KindStats
+from .faults import (CodegenFault, DegradationEvent, FaultPlan,
+                     FaultSpecError)
 from .fingerprint import (CACHE_SCHEMA_VERSION, fingerprint_config,
                           fingerprint_edge_profile, fingerprint_module,
                           fingerprint_text)
-from .parallel import ParallelRunner, WorkloadTask, run_task
-from .results import TECHNIQUES, TechniqueResult, WorkloadResult
+from .parallel import (ParallelRunner, SuiteExecutionError, WorkloadTask,
+                       run_task)
+from .results import (ExecutionRecord, SuiteExecutionReport, TECHNIQUES,
+                      TaskFailure, TechniqueResult, WorkloadResult)
 from .session import ProfilingSession, default_session, set_default_session
 from .stages import (assemble_workload_result, compile_stage, expand_stage,
                      ground_truth, plan_stage, score_technique)
 
 __all__ = [
     "ArtifactCache", "CacheStats", "KindStats",
+    "CodegenFault", "DegradationEvent", "FaultPlan", "FaultSpecError",
     "CACHE_SCHEMA_VERSION", "fingerprint_config",
     "fingerprint_edge_profile", "fingerprint_module", "fingerprint_text",
-    "ParallelRunner", "WorkloadTask", "run_task",
-    "TECHNIQUES", "TechniqueResult", "WorkloadResult",
+    "ParallelRunner", "SuiteExecutionError", "WorkloadTask", "run_task",
+    "ExecutionRecord", "SuiteExecutionReport", "TECHNIQUES",
+    "TaskFailure", "TechniqueResult", "WorkloadResult",
     "ProfilingSession", "default_session", "set_default_session",
     "assemble_workload_result", "compile_stage", "expand_stage",
     "ground_truth", "plan_stage", "score_technique",

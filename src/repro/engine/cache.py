@@ -6,11 +6,21 @@ the pipeline stage ("compile", "expand", "trace", "plan", "technique",
 :mod:`repro.engine.fingerprint`.  Two layers:
 
 * an **in-memory** dict, always consulted first;
-* an optional **on-disk** layer (one pickle file per artifact under a
-  directory, by convention ``results/.cache/``) that makes repeated CLI
-  and benchmark runs warm across processes.  Writes are atomic
-  (temp file + ``os.replace``) so concurrent worker processes can share
-  a directory; unreadable or truncated files count as misses.
+* an optional **on-disk** layer (one checksummed pickle file per
+  artifact under a directory, by convention ``results/.cache/``) that
+  makes repeated CLI and benchmark runs warm across processes.  Writes
+  are atomic (temp file + ``os.replace``) so concurrent worker processes
+  can share a directory.
+
+Disk entries are written as a small envelope -- magic bytes, a SHA-256
+digest, then the pickled payload -- and the digest is verified on every
+read.  A file that fails the check (truncated, scrambled, written by an
+incompatible version) is **quarantined**: renamed aside with a
+``.corrupt`` suffix, counted in :attr:`KindStats.corrupt`, logged, and
+reported as a miss so the artifact is simply recomputed.  Corruption is
+therefore never a crash and never a wrong result.  ``repro cache
+verify`` sweeps the whole directory through the same check;
+``repro cache gc`` deletes quarantined and stale temporary files.
 
 Per-kind hit/miss/store counters are exposed on :attr:`ArtifactCache.stats`
 -- the experiment tests assert on them to prove a warm run performs no
@@ -19,6 +29,8 @@ recompilation or re-interpretation.
 
 from __future__ import annotations
 
+import hashlib
+import logging
 import os
 import pickle
 import tempfile
@@ -26,7 +38,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional
 
+from . import faults
+
 __all__ = ["ArtifactCache", "CacheStats", "KindStats"]
+
+log = logging.getLogger(__name__)
+
+# On-disk envelope: MAGIC + sha256(payload) + payload.  The magic names
+# the envelope format, not the artifact schema -- semantic changes are
+# handled by CACHE_SCHEMA_VERSION salting every key.
+_MAGIC = b"RPROCAV1"
+_DIGEST_LEN = 32
+QUARANTINE_SUFFIX = ".corrupt"
 
 
 @dataclass
@@ -37,6 +60,7 @@ class KindStats:
     misses: int = 0
     stores: int = 0
     disk_hits: int = 0  # subset of ``hits`` served from the disk layer
+    corrupt: int = 0    # disk entries that failed verification
 
 
 @dataclass
@@ -63,6 +87,10 @@ class CacheStats:
     @property
     def disk_hits(self) -> int:
         return sum(k.disk_hits for k in self.kinds.values())
+
+    @property
+    def corrupt(self) -> int:
+        return sum(k.corrupt for k in self.kinds.values())
 
     def summary(self) -> str:
         parts = []
@@ -159,23 +187,66 @@ class ArtifactCache:
         path = self._disk_path(kind, key)
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
-        except Exception:
-            # pickle.load raises nearly anything on corrupt input
-            # (UnpicklingError, EOFError, ValueError, TypeError, ...);
-            # every unreadable file is simply a miss.
+                raw = handle.read()
+        except FileNotFoundError:
             return _MISSING
+        except OSError:
+            return _MISSING
+        payload = self._verified_payload(raw)
+        if payload is None:
+            self._quarantine(path, kind, "checksum mismatch")
+            return _MISSING
+        try:
+            return pickle.loads(payload)
+        except Exception:
+            # The bytes are intact but no longer unpicklable (e.g. a
+            # class moved between versions): quarantine, don't crash.
+            self._quarantine(path, kind, "unpicklable payload")
+            return _MISSING
+
+    @staticmethod
+    def _verified_payload(raw: bytes) -> Optional[bytes]:
+        """The payload bytes, or ``None`` when the envelope fails."""
+        header = len(_MAGIC) + _DIGEST_LEN
+        if len(raw) < header or not raw.startswith(_MAGIC):
+            return None
+        digest = raw[len(_MAGIC):header]
+        payload = raw[header:]
+        if hashlib.sha256(payload).digest() != digest:
+            return None
+        return payload
+
+    def _quarantine(self, path: Path, kind: str, reason: str) -> None:
+        """Rename a corrupt entry aside; it will be recomputed."""
+        self.stats.of(kind).corrupt += 1
+        try:
+            os.replace(path, path.with_name(path.name + QUARANTINE_SUFFIX))
+        except OSError:
+            try:  # cannot rename (read-only dir?): drop it instead
+                path.unlink()
+            except OSError:
+                pass
+        faults.record_degradation(faults.DegradationEvent(
+            "cache-quarantine", path.name, reason))
+        log.warning("quarantined corrupt cache entry %s (%s)",
+                    path.name, reason)
 
     def _disk_store(self, kind: str, key: str, value: object) -> None:
         assert self.disk_dir is not None
         try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            digest = hashlib.sha256(payload).digest()
+            # Fault injection scrambles bytes *after* the digest, so an
+            # injected corruption is always detectable on read.
+            payload = faults.corrupt_cache_payload(kind, payload)
             self.disk_dir.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=self.disk_dir, prefix=".tmp-",
                                        suffix=".pkl")
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(value, handle,
-                                protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.write(_MAGIC)
+                    handle.write(digest)
+                    handle.write(payload)
                 os.replace(tmp, self._disk_path(kind, key))
             except BaseException:
                 try:
@@ -200,6 +271,54 @@ class ArtifactCache:
             return []
         return sorted(p for p in self.disk_dir.iterdir()
                       if p.suffix == ".pkl" and not p.name.startswith("."))
+
+    def quarantined_files(self) -> list[Path]:
+        if self.disk_dir is None or not self.disk_dir.is_dir():
+            return []
+        return sorted(p for p in self.disk_dir.iterdir()
+                      if p.name.endswith(QUARANTINE_SUFFIX))
+
+    def verify_disk(self) -> tuple[int, int]:
+        """Checksum every disk entry; quarantine failures.
+
+        Returns ``(ok, quarantined)``.  Verification reads the envelope
+        only -- payloads are never unpickled, so a hostile or stale file
+        cannot execute anything during a sweep.
+        """
+        ok = quarantined = 0
+        for path in self.disk_files():
+            kind = path.name.split("-", 1)[0]
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                continue
+            if self._verified_payload(raw) is None:
+                self._quarantine(path, kind, "checksum mismatch")
+                quarantined += 1
+            else:
+                ok += 1
+        return ok, quarantined
+
+    def gc_disk(self) -> tuple[int, int]:
+        """Delete quarantined entries and orphaned temp files.
+
+        Returns ``(files_removed, bytes_reclaimed)``.
+        """
+        removed = reclaimed = 0
+        if self.disk_dir is None or not self.disk_dir.is_dir():
+            return 0, 0
+        doomed = list(self.quarantined_files())
+        doomed += [p for p in self.disk_dir.iterdir()
+                   if p.name.startswith(".tmp-")]
+        for path in doomed:
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            reclaimed += size
+        return removed, reclaimed
 
     def disk_size_bytes(self) -> int:
         total = 0

@@ -29,7 +29,8 @@ from ..profiles.serialize import edge_profile_to_dict
 # 2: execution-stage keys carry the interpreter backend.
 # 3: synthetic-block tags threaded through optimizer rebuilds.
 # 4: cached verifier/equivalence Reports (verifyreport/equiv kinds).
-CACHE_SCHEMA_VERSION = 4
+# 5: checksummed disk envelope; WorkloadResult carries an ExecutionRecord.
+CACHE_SCHEMA_VERSION = 5
 
 _SEP = "\x1f"  # unit separator: cannot appear in the joined parts
 

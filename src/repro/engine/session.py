@@ -35,8 +35,9 @@ from ..workloads import SUITE, Workload
 from .cache import ArtifactCache
 from .fingerprint import (fingerprint_config, fingerprint_edge_profile,
                           fingerprint_module, fingerprint_text)
-from .results import TECHNIQUES, TechniqueResult, WorkloadResult
-from . import stages
+from .results import (SuiteExecutionReport, TECHNIQUES, TechniqueResult,
+                      WorkloadResult)
+from . import faults, stages
 
 __all__ = ["ProfilingSession", "default_session", "set_default_session"]
 
@@ -65,6 +66,12 @@ class ProfilingSession:
         :class:`~repro.analysis.verify.PlanVerificationError` with the
         full report.  ``None`` (the default) reads ``REPRO_VERIFY``
         (``1``/``true``/``yes`` enable it).
+    timeout / retries:
+        Fault-tolerance knobs for :meth:`run_suite`'s process pool: the
+        per-task wall-clock limit in seconds (``None`` = unlimited) and
+        how many extra pool attempts a failed task gets before it falls
+        back to running inline (see
+        :class:`~repro.engine.parallel.ParallelRunner`).
     """
 
     def __init__(self, cache: Optional[ArtifactCache] = None, jobs: int = 1,
@@ -72,7 +79,8 @@ class ProfilingSession:
                  techniques: Iterable[str] = TECHNIQUES,
                  hot_threshold: float = HOT_THRESHOLD,
                  backend: Optional[str] = None,
-                 verify_plans: Optional[bool] = None):
+                 verify_plans: Optional[bool] = None,
+                 timeout: Optional[float] = None, retries: int = 2):
         self.cache = cache if cache is not None else ArtifactCache()
         self.jobs = max(1, int(jobs))
         self.config = config
@@ -84,6 +92,10 @@ class ProfilingSession:
                 "REPRO_VERIFY", "").strip().lower() in ("1", "true", "yes",
                                                         "on")
         self.verify_plans = bool(verify_plans)
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        # Per-task status of the most recent run_suite call.
+        self.last_run_report: Optional[SuiteExecutionReport] = None
 
     @property
     def stats(self):
@@ -254,9 +266,13 @@ class ProfilingSession:
                 None if name == "pp" else edge_profile,
                 actual, score_profile=edge_profile, config=config,
                 hot_threshold=hot_threshold, expected_return=return_value)
-        return stages.assemble_workload_result(
+        result = stages.assemble_workload_result(
             workload, original, opt, actual_original, actual, edge_profile,
             return_value, results, hot_threshold)
+        # Degradations the stages logged while building this result
+        # (codegen fallbacks, cache quarantines) travel with it.
+        result.execution.degradations.extend(faults.drain_degradations())
+        return result
 
     # ------------------------------------------------------------------
     # Suite driver (serial or process pool)
@@ -278,11 +294,15 @@ class ProfilingSession:
             return self._run_suite_parallel(chosen, scale, cfg, techs,
                                             verbose, jobs)
         out: dict[str, WorkloadResult] = {}
+        report = SuiteExecutionReport()
         for workload in chosen:
             if verbose:
                 print(f"  running {workload.name} ...", flush=True)
             out[workload.name] = self.run_workload(workload, scale, cfg,
                                                    techs)
+            report.records[workload.name] = out[workload.name].execution
+        report.cache_quarantined = self.cache.stats.corrupt
+        self.last_run_report = report
         return out
 
     def _run_suite_parallel(self, chosen: list[Workload], scale: int,
@@ -301,7 +321,8 @@ class ProfilingSession:
         if cold and verbose:
             print(f"  running {len(cold)} workloads across {jobs} "
                   f"processes ...", flush=True)
-        runner = ParallelRunner(jobs=jobs, disk_dir=self.cache.disk_dir)
+        runner = ParallelRunner(jobs=jobs, disk_dir=self.cache.disk_dir,
+                                timeout=self.timeout, retries=self.retries)
         tasks = [WorkloadTask(w, scale, config, techniques, hot,
                               self.backend, self.verify_plans)
                  for w in cold]
@@ -321,6 +342,12 @@ class ProfilingSession:
                 assert result is not None, \
                     f"cache entry for {workload.name} vanished"
                 out[workload.name] = result
+        # Fold the supervisor's per-task records (cold tasks) together
+        # with the warm workloads' stored records, in suite order.
+        report = runner.report
+        report.records = {w.name: out[w.name].execution for w in chosen}
+        report.cache_quarantined = self.cache.stats.corrupt
+        self.last_run_report = report
         return out
 
 

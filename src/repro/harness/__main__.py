@@ -33,14 +33,17 @@ DEFAULT_CACHE_DIR = "results/.cache"
 def build_session(jobs: int = 1, no_cache: bool = False,
                   cache_dir: str = DEFAULT_CACHE_DIR,
                   backend: str | None = None,
-                  verify: bool | None = None) -> ProfilingSession:
+                  verify: bool | None = None,
+                  timeout: float | None = None,
+                  retries: int = 2) -> ProfilingSession:
     """The session a CLI invocation drives everything through."""
     if no_cache:
         cache = ArtifactCache(memory=False)
     else:
         cache = ArtifactCache(disk_dir=cache_dir or None)
     return ProfilingSession(cache=cache, jobs=jobs, backend=backend,
-                            verify_plans=verify)
+                            verify_plans=verify, timeout=timeout,
+                            retries=retries)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -69,6 +72,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="translation-validate every piece of "
                              "generated code before executing it (or set "
                              "REPRO_EQUIV=1); fails fast on a mismatch")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock limit per workload task under "
+                             "--jobs; timed-out tasks are retried "
+                             "(default: none)")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="retry budget per task for timeouts, "
+                             "worker crashes, and transient errors "
+                             "(default 2); exhausted tasks run inline")
+    parser.add_argument("--chaos", metavar="SPEC", default="",
+                        help="deterministic fault-injection plan, e.g. "
+                             "'seed=7,kill-task=1,corrupt-write=trace:0' "
+                             "(or set REPRO_FAULTS); see "
+                             "repro.engine.faults")
     parser.add_argument("--cache-dir", metavar="DIR",
                         default=DEFAULT_CACHE_DIR,
                         help="on-disk cache directory (default "
@@ -93,9 +110,20 @@ def main(argv: list[str] | None = None) -> int:
         import os
         os.environ["REPRO_EQUIV"] = "1"
 
+    if args.chaos:
+        # Validate eagerly (a typo should fail before any work), then
+        # publish through the environment so forked worker processes
+        # observe the same plan.
+        import os
+        from ..engine import faults
+        plan = faults.FaultPlan.from_spec(args.chaos)
+        os.environ[faults.ENV_VAR] = plan.to_spec()
+        faults.install_plan(plan)
+
     session = build_session(jobs=args.jobs, no_cache=args.no_cache,
                             cache_dir=args.cache_dir, backend=args.backend,
-                            verify=True if args.verify else None)
+                            verify=True if args.verify else None,
+                            timeout=args.timeout, retries=args.retries)
 
     start = time.time()
     if not args.quiet:
@@ -133,10 +161,15 @@ def main(argv: list[str] | None = None) -> int:
             out = pathlib.Path(args.save_dir)
             out.mkdir(parents=True, exist_ok=True)
             (out / f"{name}.txt").write_text(text + "\n")
+    report = session.last_run_report
+    if report is not None and (args.chaos or not report.clean):
+        from .report import render_execution_report
+        print()
+        print(render_execution_report(report))
     if args.json:
         from .json_export import save_suite_json
         with open(args.json, "w") as handle:
-            save_suite_json(results, handle)
+            save_suite_json(results, handle, execution=report)
         if not args.quiet:
             print(f"\n[metrics written to {args.json}]")
     if not args.quiet:

@@ -61,14 +61,23 @@ def workload_result_to_dict(result: WorkloadResult) -> dict:
     }
 
 
-def suite_to_dict(results: dict[str, WorkloadResult]) -> dict:
-    return {
+def suite_to_dict(results: dict[str, WorkloadResult],
+                  execution=None) -> dict:
+    """``execution`` is an optional
+    :class:`~repro.engine.results.SuiteExecutionReport`; its telemetry
+    lands in a separate top-level section so the ``benchmarks`` subtree
+    stays byte-identical between faulty and fault-free runs."""
+    out = {
         "version": EXPORT_VERSION,
         "kind": "ppp-repro-suite-results",
         "benchmarks": [workload_result_to_dict(r)
                        for r in results.values()],
     }
+    if execution is not None:
+        out["execution"] = execution.to_dict()
+    return out
 
 
-def save_suite_json(results: dict[str, WorkloadResult], fp: TextIO) -> None:
-    json.dump(suite_to_dict(results), fp, indent=1)
+def save_suite_json(results: dict[str, WorkloadResult], fp: TextIO,
+                    execution=None) -> None:
+    json.dump(suite_to_dict(results, execution=execution), fp, indent=1)

@@ -34,5 +34,28 @@ def pct(value: float, digits: int = 1) -> str:
     return f"{value * 100:.{digits}f}%"
 
 
+def render_execution_report(report) -> str:
+    """The fault-tolerance telemetry of one suite run as a table.
+
+    One row per task (attempts, where it finally ran, failure kinds,
+    degradation kinds), followed by the supervisor-level aggregates.
+    ``report`` is a :class:`~repro.engine.results.SuiteExecutionReport`.
+    """
+    rows = []
+    for name, record in report.records.items():
+        failures = ",".join(f.kind for f in record.failures) or "-"
+        degraded = ",".join(d.kind for d in record.degradations) or "-"
+        rows.append((name, record.attempts, record.where, failures,
+                     degraded))
+    table = render_table(
+        ("benchmark", "attempts", "where", "failures", "degradations"),
+        rows, title="Execution report")
+    summary = (f"retries={report.retries}  "
+               f"degradations={report.degradations}  "
+               f"pool_rebuilds={report.pool_rebuilds}  "
+               f"cache_quarantined={report.cache_quarantined}")
+    return f"{table}\n{summary}"
+
+
 def mean(values: Sequence[float]) -> float:
     return sum(values) / len(values) if values else 0.0

@@ -21,14 +21,17 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from ..core import DEFAULT_CONFIG, ProfilerConfig
-from ..engine import (TECHNIQUES, TechniqueResult, WorkloadResult,
-                      default_session, ground_truth, score_technique)
+from ..engine import (DegradationEvent, ExecutionRecord,
+                      SuiteExecutionReport, TECHNIQUES, TaskFailure,
+                      TechniqueResult, WorkloadResult, default_session,
+                      ground_truth, score_technique)
 from ..profiles.metrics import HOT_THRESHOLD
 from ..workloads import Workload
 
 __all__ = [
-    "TECHNIQUES", "TechniqueResult", "WorkloadResult", "ground_truth",
-    "run_suite", "run_workload", "score_technique",
+    "DegradationEvent", "ExecutionRecord", "SuiteExecutionReport",
+    "TECHNIQUES", "TaskFailure", "TechniqueResult", "WorkloadResult",
+    "ground_truth", "run_suite", "run_workload", "score_technique",
 ]
 
 

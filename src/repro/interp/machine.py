@@ -266,6 +266,9 @@ class Machine:
                 "REPRO_EQUIV", "") not in ("", "0")
         self.validate_codegen = validate_codegen
         self._backend_impl = None  # lazily-built CompiledBackend
+        # DegradationEvents recorded when a function's codegen failed and
+        # execution fell back to the tuple loop for it (compiled backend).
+        self.degradations: list = []
         self._last_return: object = 0
         self.collect_edge_profile = collect_edge_profile
         # A path listener needs the tracer's bookkeeping to see paths.

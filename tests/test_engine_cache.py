@@ -7,6 +7,7 @@ import pytest
 from repro.engine import (ArtifactCache, CACHE_SCHEMA_VERSION,
                           fingerprint_config, fingerprint_edge_profile,
                           fingerprint_module, fingerprint_text, ground_truth)
+from repro.engine.faults import drain_degradations
 from repro.core import DEFAULT_CONFIG, ppp_config_without
 from repro.workloads import get_workload
 
@@ -118,9 +119,9 @@ def test_disk_round_trip_across_instances(tmp_path):
 
 
 @pytest.mark.parametrize("junk", [b"not a pickle", b"garbage\n", b"\x80"])
-def test_corrupt_disk_entry_is_a_miss(tmp_path, junk):
-    # pickle.load raises different exception types depending on the junk
-    # (UnpicklingError, ValueError, EOFError, ...): all must read as a miss.
+def test_corrupt_disk_entry_is_a_miss_and_quarantined(tmp_path, junk):
+    # Any bytes that fail the envelope check (wrong magic, bad digest,
+    # truncation) must read as a miss and move the file aside.
     cache = ArtifactCache(disk_dir=tmp_path)
     cache.store("trace", "abc", [1, 2])
     path, = cache.disk_files()
@@ -128,6 +129,10 @@ def test_corrupt_disk_entry_is_a_miss(tmp_path, junk):
     fresh = ArtifactCache(disk_dir=tmp_path)
     assert fresh.lookup("trace", "abc") is None
     assert fresh.stats.of("trace").misses == 1
+    assert fresh.stats.of("trace").corrupt == 1
+    assert fresh.disk_files() == []  # renamed aside, not left in place
+    assert len(fresh.quarantined_files()) == 1
+    drain_degradations()
 
 
 def test_truncated_disk_entry_is_a_miss(tmp_path):
@@ -138,6 +143,112 @@ def test_truncated_disk_entry_is_a_miss(tmp_path):
     path.write_bytes(raw[:len(raw) // 2])
     fresh = ArtifactCache(disk_dir=tmp_path)
     assert fresh.lookup("trace", "abc") is None
+    assert fresh.stats.corrupt == 1
+    drain_degradations()
+
+
+def test_flipped_payload_byte_fails_checksum(tmp_path):
+    # A single flipped bit deep inside an otherwise well-formed pickle
+    # would unpickle into a WRONG value without the digest check.
+    cache = ArtifactCache(disk_dir=tmp_path)
+    cache.store("trace", "abc", list(range(100)))
+    path, = cache.disk_files()
+    raw = bytearray(path.read_bytes())
+    raw[-10] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    fresh = ArtifactCache(disk_dir=tmp_path)
+    assert fresh.lookup("trace", "abc") is None
+    assert fresh.stats.of("trace").corrupt == 1
+    drain_degradations()
+
+
+def test_legacy_schema_file_is_quarantined(tmp_path):
+    # A bare pickle from a pre-envelope cache (wrong schema version /
+    # format) must never be trusted.
+    path = tmp_path / "plan-oldkey.pkl"
+    path.write_bytes(pickle.dumps({"schema": "v0"}))
+    cache = ArtifactCache(disk_dir=tmp_path)
+    assert cache.lookup("plan", "oldkey") is None
+    assert cache.stats.of("plan").corrupt == 1
+    drain_degradations()
+
+
+def test_quarantine_records_degradation_event(tmp_path):
+    drain_degradations()
+    cache = ArtifactCache(disk_dir=tmp_path)
+    cache.store("plan", "k", 1)
+    path, = cache.disk_files()
+    path.write_bytes(b"junk")
+    cache.lookup("plan", "k")  # memory hit: no disk read, no event
+    fresh = ArtifactCache(disk_dir=tmp_path)
+    assert fresh.lookup("plan", "k") is None
+    events = drain_degradations()
+    assert [e.kind for e in events] == ["cache-quarantine"]
+    assert "plan-k.pkl" in events[0].subject
+
+
+def test_verify_disk_sweeps_and_quarantines(tmp_path):
+    cache = ArtifactCache(disk_dir=tmp_path)
+    cache.store("trace", "good1", [1])
+    cache.store("trace", "good2", [2])
+    cache.store("trace", "bad", [3])
+    bad = cache._disk_path("trace", "bad")
+    bad.write_bytes(b"scrambled")
+    ok, quarantined = cache.verify_disk()
+    assert (ok, quarantined) == (2, 1)
+    assert len(cache.disk_files()) == 2
+    assert len(cache.quarantined_files()) == 1
+    # A second sweep finds a clean directory.
+    assert cache.verify_disk() == (2, 0)
+    drain_degradations()
+
+
+def test_gc_disk_removes_quarantined_and_temp_files(tmp_path):
+    cache = ArtifactCache(disk_dir=tmp_path)
+    cache.store("plan", "keep", 1)
+    cache.store("plan", "bad", 2)
+    cache._disk_path("plan", "bad").write_bytes(b"junk")
+    cache.verify_disk()
+    (tmp_path / ".tmp-orphan.pkl").write_bytes(b"partial write")
+    removed, reclaimed = cache.gc_disk()
+    assert removed == 2 and reclaimed > 0
+    assert cache.quarantined_files() == []
+    assert [p.name for p in cache.disk_files()] == \
+        [cache._disk_path("plan", "keep").name]
+    # The surviving entry still round-trips.
+    fresh = ArtifactCache(disk_dir=tmp_path)
+    assert fresh.lookup("plan", "keep") == 1
+    drain_degradations()
+
+
+def test_concurrent_writer_race_last_write_wins(tmp_path):
+    # Two caches sharing a directory write the same key: atomic
+    # os.replace means a reader sees one complete envelope, never a mix.
+    a = ArtifactCache(disk_dir=tmp_path)
+    b = ArtifactCache(disk_dir=tmp_path)
+    a.store("trace", "k", {"writer": "a", "data": list(range(50))})
+    b.store("trace", "k", {"writer": "b", "data": list(range(50))})
+    fresh = ArtifactCache(disk_dir=tmp_path)
+    value = fresh.lookup("trace", "k")
+    assert value == {"writer": "b", "data": list(range(50))}
+    assert fresh.stats.corrupt == 0
+
+
+def test_concurrent_corruption_recomputes_not_crashes(tmp_path):
+    # A writer dies mid-write leaving garbage under the final name (e.g.
+    # a non-atomic filesystem): readers recompute and repair the entry.
+    cache = ArtifactCache(disk_dir=tmp_path)
+    cache.store("expand", "k", "good")
+    path, = cache.disk_files()
+    path.write_bytes(b"RPROCAV1" + b"\x00" * 16)  # short/invalid envelope
+    fresh = ArtifactCache(disk_dir=tmp_path)
+    value = fresh.get_or_compute("expand", "k", lambda: "recomputed")
+    assert value == "recomputed"
+    # The recompute re-stored a valid entry; the next reader hits disk.
+    again = ArtifactCache(disk_dir=tmp_path)
+    assert again.lookup("expand", "k") == "recomputed"
+    assert again.stats.of("expand").disk_hits == 1
+    drain_degradations()
 
 
 def test_disk_files_skip_temp_names(tmp_path):
@@ -159,9 +270,35 @@ def test_clear_disk(tmp_path):
 
 def test_unwritable_disk_degrades_to_memory(tmp_path, monkeypatch):
     cache = ArtifactCache(disk_dir=tmp_path / "cache")
-    monkeypatch.setattr(pickle, "dump",
+    monkeypatch.setattr(pickle, "dumps",
                         lambda *a, **k: (_ for _ in ()).throw(
                             pickle.PicklingError("boom")))
     cache.store("plan", "k", "v")
     assert cache.lookup("plan", "k") == "v"  # memory layer still serves
     assert cache.disk_files() == []
+
+
+# ----------------------------------------------------------------------
+# CLI: repro cache verify / gc
+# ----------------------------------------------------------------------
+
+def test_cli_cache_verify_and_gc(tmp_path, capsys):
+    from repro.__main__ import main as repro_main
+
+    cache = ArtifactCache(disk_dir=tmp_path)
+    cache.store("trace", "good", [1])
+    cache.store("trace", "bad", [2])
+    cache._disk_path("trace", "bad").write_bytes(b"junk")
+
+    assert repro_main(["cache", "verify", "--dir", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "1 ok" in out and "1 corrupt" in out
+
+    # A clean directory verifies with exit 0.
+    assert repro_main(["cache", "verify", "--dir", str(tmp_path)]) == 0
+
+    assert repro_main(["cache", "gc", "--dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "removed 1" in out
+    assert ArtifactCache(disk_dir=tmp_path).quarantined_files() == []
+    drain_degradations()

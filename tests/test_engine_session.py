@@ -157,6 +157,44 @@ def test_cli_harness_jobs_and_cache_flags(tmp_path):
     assert table_lines(nocache.stdout) == table_lines(warmup.stdout)
 
 
+def test_cli_harness_chaos_results_match_fault_free(tmp_path):
+    # A seeded chaos run must exit 0, report its degradations, and
+    # produce byte-identical benchmark metrics to the fault-free run.
+    cache_dir = tmp_path / "cache"
+    clean = run_cli("-m", "repro.harness", "table2", "--benchmarks", "mcf",
+                    "--no-cache", "--json", str(tmp_path / "clean.json"),
+                    cwd=tmp_path)
+    assert clean.returncode == 0, clean.stderr
+
+    chaos = run_cli("-m", "repro.harness", "table2", "--benchmarks", "mcf",
+                    "--cache-dir", str(cache_dir),
+                    "--chaos", "seed=7,codegen-fail=main,corrupt-write=workload:0",
+                    "--json", str(tmp_path / "chaos.json"), cwd=tmp_path)
+    assert chaos.returncode == 0, chaos.stderr
+    assert "Execution report" in chaos.stdout
+    assert "codegen-fallback" in chaos.stdout
+
+    clean_doc = json.loads((tmp_path / "clean.json").read_text())
+    chaos_doc = json.loads((tmp_path / "chaos.json").read_text())
+    assert chaos_doc["benchmarks"] == clean_doc["benchmarks"]
+    assert chaos_doc["execution"]["degradations"] > 0
+
+    # The corrupt-write fault left a latent bad cache entry: a fresh
+    # fault-free run over the same directory quarantines it, recomputes,
+    # and still matches.
+    after = run_cli("-m", "repro.harness", "table2", "--benchmarks", "mcf",
+                    "--cache-dir", str(cache_dir),
+                    "--json", str(tmp_path / "after.json"), cwd=tmp_path)
+    assert after.returncode == 0, after.stderr
+    after_doc = json.loads((tmp_path / "after.json").read_text())
+    assert after_doc["benchmarks"] == clean_doc["benchmarks"]
+    assert after_doc["execution"]["cache_quarantined"] >= 1
+
+    verify = run_cli("-m", "repro", "cache", "verify", "--dir",
+                     str(cache_dir), cwd=tmp_path)
+    assert verify.returncode == 0, verify.stderr  # quarantine already done
+
+
 def test_cli_cache_info_and_clear(tmp_path):
     cache_dir = tmp_path / "cache"
     seed = run_cli("-m", "repro.harness", "table1", "--benchmarks", "mcf",
