@@ -23,11 +23,28 @@ Subsequent PRs diff this file to track the perf trajectory; CI runs
 ``--smoke --min-speedup 1.0`` as a regression gate (fail if the compiled
 backend is ever slower than the reference interpreter).
 
+``--profilers`` switches to the profiler-overhead benchmark instead:
+each registered (non-plan-bound) profiler plugin runs alone over the
+suite on the compiled backend, and its wall-clock slowdown and billed
+instrumentation cost relative to the no-observation baseline are
+written to ``BENCH_profilers.json``:
+
+    {
+      "schema": 1,
+      "baseline": {"mcf": {"ops_per_sec": ...}, ...},
+      "profilers": {
+        "values": {"mcf": {"ops_per_sec": ..., "overhead_pct": ...,
+                            "billed_overhead_pct": ...}, ...},
+        ...
+      }
+    }
+
 Usage::
 
     PYTHONPATH=src python scripts/bench.py                # full suite
     PYTHONPATH=src python scripts/bench.py --smoke        # 4 workloads
     PYTHONPATH=src python scripts/bench.py --min-speedup 3.0
+    PYTHONPATH=src python scripts/bench.py --smoke --profilers
 """
 
 from __future__ import annotations
@@ -97,6 +114,68 @@ def run_bench(names: list[str], scale: int, repeats: int, profile: bool,
     }
 
 
+def profiler_ops_per_sec(module, profiler_names: tuple[str, ...],
+                         repeats: int) -> tuple[float, float, float]:
+    """Best-of-N ops/sec plus base and instrumentation cost for one
+    module under the named profilers (compiled backend)."""
+    from repro.profilers import build_machine, create_profilers
+
+    def once() -> tuple[float, float, float, int]:
+        machine, _ = build_machine(module,
+                                   create_profilers(profiler_names),
+                                   backend="compiled")
+        start = time.perf_counter()
+        result = machine.run()
+        elapsed = time.perf_counter() - start
+        return (elapsed, result.costs.base, result.costs.instrumentation,
+                result.instructions_executed)
+
+    once()  # warm-up: codegen cache for this profiler selection
+    best, base, instr, instructions = min(once() for _ in range(
+        max(1, repeats)))
+    return instructions / best, base, instr
+
+
+def run_profiler_bench(names: list[str], scale: int, repeats: int) -> dict:
+    """Per-profiler overhead vs the no-observation baseline."""
+    from repro.profilers import registered_profilers
+
+    plugin_names = sorted(name for name, cls in
+                          registered_profilers().items()
+                          if not cls.requires_plan)
+    modules = {name: get_workload(name).compile(scale) for name in names}
+    baseline: dict[str, dict] = {}
+    rates: dict[str, float] = {}
+    for name, module in modules.items():
+        rate, _base, _instr = profiler_ops_per_sec(module, (), repeats)
+        rates[name] = rate
+        baseline[name] = {"ops_per_sec": round(rate, 1)}
+    report: dict[str, dict] = {}
+    for plugin in plugin_names:
+        rows: dict[str, dict] = {}
+        for name, module in modules.items():
+            rate, base, instr = profiler_ops_per_sec(
+                module, (plugin,), repeats)
+            overhead = (rates[name] / rate - 1.0) * 100.0
+            billed = (instr / base * 100.0) if base else 0.0
+            rows[name] = {
+                "ops_per_sec": round(rate, 1),
+                "overhead_pct": round(overhead, 1),
+                "billed_overhead_pct": round(billed, 2),
+            }
+            print(f"  {plugin:12s} {name:10s} {rate / 1e6:7.2f} Mops/s   "
+                  f"wall {overhead:+6.1f}%   billed {billed:6.2f}%",
+                  flush=True)
+        report[plugin] = rows
+    return {
+        "schema": 1,
+        "scale": scale,
+        "backend": "compiled",
+        "baseline": baseline,
+        "profilers": report,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark interpreter backends over the workload "
@@ -110,8 +189,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profiled", action="store_true",
                         help="measure the profile+trace observation mode "
                              "instead of plain execution")
-    parser.add_argument("--out", default="BENCH_interp.json",
-                        help="output path (default BENCH_interp.json)")
+    parser.add_argument("--profilers", action="store_true",
+                        help="benchmark per-plugin profiler overhead vs "
+                             "the no-observation baseline and write "
+                             "BENCH_profilers.json instead")
+    parser.add_argument("--out", default=None,
+                        help="output path (default BENCH_interp.json, or "
+                             "BENCH_profilers.json with --profilers)")
     parser.add_argument("--min-speedup", type=float, default=None,
                         metavar="X",
                         help="exit non-zero if any workload's compiled/"
@@ -122,8 +206,17 @@ def main(argv: list[str] | None = None) -> int:
              else [w.name for w in SUITE])
     print(f"benchmarking {len(names)} workloads at scale {args.scale} "
           f"({args.repeats} repeats) ...", flush=True)
+
+    if args.profilers:
+        report = run_profiler_bench(names, args.scale, args.repeats)
+        out = args.out or "BENCH_profilers.json"
+        Path(out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[written to {out}]")
+        return 0
+
     report = run_bench(names, args.scale, args.repeats,
                        profile=args.profiled, trace=args.profiled)
+    args.out = args.out or "BENCH_interp.json"
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"geomean speedup: {report['geomean_speedup']:.2f}x   "
           f"min: {report['min_speedup']:.2f}x")

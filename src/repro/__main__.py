@@ -19,7 +19,13 @@ Subcommands
     profiling DAG with numbering values).
 ``cache {info,verify,gc,clear}``
     Inspect or empty the on-disk artifact cache the experiment harness
-    keeps under ``results/.cache`` (see ``repro.engine``).
+    keeps under ``results/.cache`` (see ``repro.engine``).  ``info``
+    and ``verify`` report the cache schema version and flag entries
+    written under an older schema; ``gc`` deletes them.
+``profilers``
+    List the registered profiler plugins (name, description, machine
+    channels).  Any non-plan profiler can be fused into an instrumented
+    run via ``profile --profilers NAME[,NAME...]``.
 ``verify [FILE | --suite]``
     Statically verify PP/TPP/PPP instrumentation plans (numbering
     bijectivity, exact per-path counting, cold-edge poisoning, counter
@@ -42,6 +48,8 @@ Examples::
 
     python -m repro run program.minic
     python -m repro profile program.minic --technique tpp --top 10
+    python -m repro profile program.minic --profilers values,tripcounts
+    python -m repro profilers
     python -m repro disasm program.minic --optimize
     python -m repro dot program.minic main --dag | dot -Tpng > cfg.png
     python -m repro cache info
@@ -106,11 +114,12 @@ def cmd_profile(args) -> int:
             save_edge_profile(fresh_profile, handle)
         print(f"saved edge profile to {args.save_edge_profile}")
 
+    extra = _parse_profilers(getattr(args, "profilers", ""))
     planner = {"pp": lambda: plan_pp(module),
                "tpp": lambda: plan_tpp(module, edge_profile),
                "ppp": lambda: plan_ppp(module, edge_profile)}
     plan = planner[args.technique]()
-    run = run_with_plan(plan, backend=args.backend)
+    run = run_with_plan(plan, backend=args.backend, profilers=extra)
 
     print(f"\ntechnique: {args.technique.upper()}   "
           f"overhead: {run.overhead * 100:.1f}% (cost model)")
@@ -142,6 +151,60 @@ def cmd_profile(args) -> int:
     if not rows:
         print("  (nothing instrumented; profile estimated from "
               "definite/potential flow)")
+    if run.profiles:
+        print()
+        _print_extra_profiles(run.profiles)
+    return 0
+
+
+def _parse_profilers(spec: str) -> tuple[str, ...]:
+    if not spec:
+        return ()
+    from .profilers import parse_profiler_names
+    try:
+        return parse_profiler_names(spec)
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+
+
+def _print_extra_profiles(profiles: dict) -> None:
+    """Compact per-profiler summaries for ``profile --profilers``."""
+    from .profilers import mean_trips, top_values
+    for pname, data in profiles.items():
+        print(f"{pname}:")
+        if pname == "values":
+            for func, sites in data.items():
+                for site, table in sites.items():
+                    tops = ", ".join(f"{v!r}({c})"
+                                     for v, c in top_values(table, 3))
+                    lost = (f" (+{table['lost']} lost)"
+                            if table["lost"] else "")
+                    print(f"  {func}/{site}: {tops}{lost}")
+        elif pname == "tripcounts":
+            for func, loops in data.items():
+                for header, hist in loops.items():
+                    total = sum(hist.values())
+                    print(f"  {func}/{header}: {total} episodes, "
+                          f"mean {mean_trips(hist):.1f} trips")
+        else:
+            print(f"  {data!r}")
+
+
+def cmd_profilers(args) -> int:
+    from .profilers import available
+
+    infos = available()
+    width = max(len(info.name) for info in infos)
+    for info in infos:
+        channels = []
+        if info.channels.edge_profile:
+            channels.append("edge-counts")
+        if info.channels.trace_paths:
+            channels.append("path-trace")
+        if info.requires_plan:
+            channels.append("needs-plan")
+        suffix = f"  [{', '.join(channels)}]" if channels else ""
+        print(f"{info.name:<{width}}  {info.description}{suffix}")
     return 0
 
 
@@ -175,7 +238,7 @@ def cmd_dot(args) -> int:
 
 
 def cmd_cache(args) -> int:
-    from .engine import ArtifactCache
+    from .engine import CACHE_SCHEMA_VERSION, ArtifactCache
 
     cache = ArtifactCache(disk_dir=args.dir)
     files = cache.disk_files()
@@ -185,19 +248,33 @@ def cmd_cache(args) -> int:
             kind = path.name.split("-", 1)[0]
             by_kind[kind] = by_kind.get(kind, 0) + 1
         print(f"cache directory: {args.dir}")
+        print(f"cache schema: v{CACHE_SCHEMA_VERSION}")
         print(f"artifacts: {len(files)} "
               f"({cache.disk_size_bytes() / 1024:.1f} KB)")
         for kind in sorted(by_kind):
             print(f"  {kind}: {by_kind[kind]}")
+        census = cache.schema_census()
+        stale = sum(n for v, n in census.items()
+                    if v and v != CACHE_SCHEMA_VERSION)
+        if stale:
+            versions = ", ".join(f"v{v}: {n}" for v, n in
+                                 sorted(census.items())
+                                 if v and v != CACHE_SCHEMA_VERSION)
+            print(f"  stale schema: {stale} ({versions}) -- run "
+                  f"'repro cache gc' to remove stale entries")
         quarantined = cache.quarantined_files()
         if quarantined:
             print(f"  quarantined: {len(quarantined)} (run "
                   f"'repro cache gc' to delete)")
         return 0
     if args.action == "verify":
-        ok, quarantined = cache.verify_disk()
-        print(f"verified {ok + quarantined} artifacts: {ok} ok, "
-              f"{quarantined} corrupt (quarantined)")
+        ok, quarantined, stale = cache.verify_disk()
+        print(f"cache schema: v{CACHE_SCHEMA_VERSION}")
+        print(f"verified {ok + quarantined + stale} artifacts: {ok} ok, "
+              f"{quarantined} corrupt (quarantined), {stale} stale schema")
+        if stale:
+            print("stale entries predate the current cache schema; "
+                  "run 'repro cache gc' to remove stale entries")
         return 1 if quarantined else 0
     if args.action == "gc":
         removed, reclaimed = cache.gc_disk()
@@ -445,7 +522,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="plan from a saved edge profile (JSON)")
     p_prof.add_argument("--save-edge-profile", metavar="OUT",
                         help="save this run's edge profile (JSON)")
+    p_prof.add_argument("--profilers", metavar="NAMES", default="",
+                        help="comma-separated extra registry profilers to "
+                             "fuse into the run (see 'repro profilers')")
     p_prof.set_defaults(fn=cmd_profile)
+
+    p_plist = sub.add_parser(
+        "profilers", help="list the registered profiler plugins")
+    p_plist.set_defaults(fn=cmd_profilers)
 
     p_dis = sub.add_parser("disasm", help="print the lowered IR")
     p_dis.add_argument("file")

@@ -25,8 +25,9 @@ from .dataflow import (DataflowProblem, DataflowResult, Def,
 from .diagnostics import Diagnostic, Report, Severity
 from .equiv import (PASS_NAMES, CodegenValidationError, ExploreLimits,
                     apply_pass, check_function_codegen, check_generated,
-                    check_module_codegen, check_pass, equiv_module,
-                    equiv_suite, standard_modes)
+                    check_module_codegen, check_pass,
+                    check_profiler_codegen, equiv_module, equiv_suite,
+                    standard_modes)
 from .lint import lint_function, lint_module
 from .mutate import (CODEGEN_MUTATIONS, MUTATIONS, PASS_MUTATIONS,
                      applicable_mutations, mutate_module, mutate_plan,
@@ -35,7 +36,7 @@ from .symexec import (IRSymbolicExecutor, SymState, Term, TermFactory,
                       format_term, ops_equal)
 from .verify import (DEFAULT_PATH_CAP, PlanVerificationError,
                      verify_function_plan, verify_module_plan,
-                     verify_suite)
+                     verify_observations, verify_suite)
 
 __all__ = [
     "DataflowProblem", "DataflowResult", "Def", "DefiniteAssignment",
@@ -44,7 +45,8 @@ __all__ = [
     "Diagnostic", "Report", "Severity",
     "PASS_NAMES", "CodegenValidationError", "ExploreLimits", "apply_pass",
     "check_function_codegen", "check_generated", "check_module_codegen",
-    "check_pass", "equiv_module", "equiv_suite", "standard_modes",
+    "check_pass", "check_profiler_codegen", "equiv_module", "equiv_suite",
+    "standard_modes",
     "lint_function", "lint_module",
     "CODEGEN_MUTATIONS", "MUTATIONS", "PASS_MUTATIONS",
     "applicable_mutations", "mutate_module", "mutate_plan",
@@ -52,5 +54,5 @@ __all__ = [
     "IRSymbolicExecutor", "SymState", "Term", "TermFactory",
     "format_term", "ops_equal",
     "DEFAULT_PATH_CAP", "PlanVerificationError", "verify_function_plan",
-    "verify_module_plan", "verify_suite",
+    "verify_module_plan", "verify_observations", "verify_suite",
 ]

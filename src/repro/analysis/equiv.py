@@ -75,8 +75,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "PASS_NAMES", "ExploreLimits", "CodegenValidationError",
     "standard_modes", "check_function_codegen", "check_module_codegen",
-    "check_generated", "apply_pass", "check_pass", "equiv_module",
-    "equiv_suite",
+    "check_profiler_codegen", "check_generated", "apply_pass",
+    "check_pass", "equiv_module", "equiv_suite",
 ]
 
 #: The optimizer passes the simulation checker knows how to drive, in
@@ -811,6 +811,58 @@ def check_module_codegen(module: Module,
     for func in module.functions.values():
         if func.sealed:
             check_function_codegen(func, module, modes, report)
+    return report
+
+
+def check_profiler_codegen(module: Module, profilers: Sequence[object]
+                           ) -> Report:
+    """Validate generated code under the observation modes a profiler
+    selection actually induces.
+
+    Each profiler's :meth:`instrument` placement yields a per-function
+    hook-edge set; the function is validated under every profiler's own
+    set and under the fused union with the profilers' native machine
+    channels ORed in -- exactly the :class:`ModeSpec` the machine would
+    compile for that selection, so this proves the *fusion* path, not
+    just the standard lattice.
+    """
+    from ..interp.costs import DEFAULT_COSTS
+
+    report = Report(title=f"codegen equivalence: {module.name} "
+                          f"[profilers]")
+    contributions = [(p, p.instrument(module, DEFAULT_COSTS))
+                     for p in profilers]
+    for fname, func in module.functions.items():
+        if not func.sealed:
+            continue
+        uid_key = {e.uid: (e.src, e.dst) for e in func.cfg.edges()}
+        profile = trace = False
+        per_profiler: list[frozenset] = []
+        union: set = set()
+        for profiler, obs in contributions:
+            channels = getattr(profiler, "channels", None)
+            if channels is not None:
+                profile = profile or channels.edge_profile
+                trace = trace or channels.trace_paths
+            fobs = obs.functions.get(fname)
+            if fobs is None:
+                per_profiler.append(frozenset())
+                continue
+            keys = frozenset(uid_key[uid]
+                             for uid, ops in fobs.edge_ops.items()
+                             if ops and uid in uid_key)
+            per_profiler.append(keys)
+            union |= keys
+        modes: list[ModeSpec] = [ModeSpec(hook_edges=keys)
+                                 for keys in per_profiler if keys]
+        modes.append(ModeSpec(profile=profile, trace=trace,
+                              hook_edges=frozenset(union)))
+        seen: set = set()
+        unique = [m for m in modes
+                  if (key := (m.profile, m.trace, m.listener,
+                              m.hook_edges)) not in seen
+                  and not seen.add(key)]
+        check_function_codegen(func, module, unique, report)
     return report
 
 

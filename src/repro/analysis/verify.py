@@ -25,6 +25,11 @@ on (diagnostic codes in parentheses):
   for check-style (V303, V304).  Executions that rejoin the hot region
   through a pushed count/init are the paper's documented overcount and
   reported as a note (V305), never an error.
+* **Observations** — :func:`verify_observations` generalises the edge
+  checks to any registered profiler plugin: every observed edge uid
+  must be a real CFG edge (V501) and every placed op must satisfy its
+  own declared placement contract via
+  :meth:`~repro.core.ops.ObservationOp.validate` (V502).
 * **Geometry** — ``num_hot`` equals the numbering total (V401),
   ``counter_span`` covers the hot range (V402), the array/hash store
   decision matches ``hash_threshold`` (V403), ``static_ops`` is honest
@@ -610,6 +615,49 @@ def verify_module_plan(mplan: ModulePlan,
     for fplan in mplan.functions.values():
         report.extend(verify_function_plan(fplan, mplan.config,
                                            mplan.technique, path_cap))
+    return report
+
+
+def verify_observations(module, profilers) -> Report:
+    """Statically verify registered profilers' observation placements.
+
+    The generic analogue of the plan checks for arbitrary plugins: every
+    instrumented edge uid must name a real CFG edge of its function
+    (V501), and every placed op must pass its own declared
+    :meth:`~repro.core.ops.ObservationOp.validate` contract against the
+    edge it rides on (V502) -- e.g. a value record must sit on an edge
+    leaving its site's block, a trip increment on a back edge of its
+    loop.  ``profilers`` is a sequence of profiler *instances* (anything
+    with ``name`` and ``instrument``); pass names through
+    :func:`repro.profilers.create_profilers`.
+    """
+    from ..interp.costs import DEFAULT_COSTS
+
+    names = ", ".join(p.name for p in profilers) or "none"
+    report = Report(title=f"observations {module.name} [{names}]")
+    for profiler in profilers:
+        obs = profiler.instrument(module, DEFAULT_COSTS)
+        for fname, fobs in obs.functions.items():
+            func = module.functions[fname]
+            edges = {e.uid: e for e in func.cfg.edges()}
+            for uid, ops in fobs.edge_ops.items():
+                edge = edges.get(uid)
+                if edge is None:
+                    report.add(Diagnostic(
+                        severity=Severity.ERROR, code="V501",
+                        message=f"{profiler.name}: observed edge uid "
+                                f"{uid} is not an edge of the CFG",
+                        function=fname,
+                        hint="observations must target real CFG edges"))
+                    continue
+                for op in ops:
+                    for problem in op.validate(func, edge):
+                        report.add(Diagnostic(
+                            severity=Severity.ERROR, code="V502",
+                            message=f"{profiler.name}: {problem}",
+                            function=fname, block=edge.src,
+                            hint="the op's own placement contract is "
+                                 "violated"))
     return report
 
 

@@ -1,6 +1,14 @@
-"""Instrumentation operations placed on CFG edges.
+"""Observation operations placed on CFG edges.
 
-These are the only operations the Ball-Larus family ever inserts
+:class:`ObservationOp` is the root of *every* operation any profiler may
+attach to an edge: it knows how to compile itself into a step closure
+(billed through the shared cost model) and how to validate its own
+placement contract.  The Ball-Larus family below is the oldest op
+family; profiler plugins (:mod:`repro.profilers`) declare their own
+subclasses and the attachment layer (:mod:`repro.core.attach`) compiles
+all of them uniformly.
+
+The Ball-Larus ops are the only operations PP/TPP/PPP ever insert
 (Section 3.1, Figure 1(e-g)):
 
 * ``SetReg(v)``   -- ``r = v`` (path-register initialisation, or poison)
@@ -16,10 +24,51 @@ variant is selected per plan, not per op, and is handled by the runtime.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards (typing only)
+    from ..cfg.graph import Edge
+    from ..interp.machine import Frame
+    from ..ir.function import Function
+    from .attach import HookContext
 
 
-class InstrOp:
-    """Base class for instrumentation operations."""
+class ObservationOp:
+    """Base class for every operation a profiler can attach to an edge.
+
+    Subclasses outside the Ball-Larus family implement
+    :meth:`compile_step`; the path-register ops below are compiled by
+    the specialised fast path in :mod:`repro.core.attach` instead.
+    Subclasses should be frozen dataclasses: the attachment layer hoists
+    compiled steps across edges carrying structurally identical op
+    lists, which requires ops to be hashable values.
+    """
+
+    __slots__ = ()
+
+    def compile_step(self, ctx: "HookContext"
+                     ) -> tuple[Callable[["Frame"], None], float]:
+        """``(step closure, unit cost)`` for one execution of this op."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement compile_step")
+
+    def validate(self, func: "Function", edge: "Edge") -> list[str]:
+        """Placement-contract violations of this op on ``edge`` (empty
+        when the placement is legal); used by the plan verifier's
+        generic observation checks."""
+        return []
+
+    def describe_state(self) -> dict[str, Any]:
+        """Structured rendering for reports/JSON (op name + fields)."""
+        out: dict[str, Any] = {"op": type(self).__name__}
+        fields = getattr(self, "__dataclass_fields__", {})
+        for name in fields:
+            out[name] = getattr(self, name)
+        return out
+
+
+class InstrOp(ObservationOp):
+    """Base class for the Ball-Larus path-register operations."""
 
     __slots__ = ()
 

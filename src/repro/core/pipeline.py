@@ -30,12 +30,11 @@ from typing import Optional
 from ..cfg.dag import ProfilingDag, build_profiling_dag
 from ..cfg.loops import find_loops
 from ..interp.costs import CostModel, DEFAULT_COSTS
-from ..interp.machine import Machine, RunResult
+from ..interp.machine import RunResult
 from ..ir.function import Function, Module
 from ..profiles.definite import definite_flow_total
 from ..profiles.edge_profile import EdgeProfile, FunctionEdgeProfile
 from ..profiles.flowsets import DagFrequencies
-from .attach import attach_function
 from .cold import (GLOBAL_COLD_FRACTION, LOCAL_COLD_RATIO, cold_cfg_edges,
                    live_dag_edges)
 from .events import dag_edge_weights, event_count
@@ -44,7 +43,7 @@ from .numbering import PathNumbering, number_paths
 from .obvious import (OBVIOUS_LOOP_MIN_TRIPS, all_paths_obvious,
                       obvious_loop_cold_edges)
 from .placement import PlacementResult, place_instrumentation
-from .runtime import HASH_THRESHOLD, CounterStore, make_store
+from .runtime import HASH_THRESHOLD, CounterStore
 
 
 @dataclass(frozen=True)
@@ -315,6 +314,9 @@ class ProfileRun:
     plan: ModulePlan
     run: RunResult
     stores: dict[str, CounterStore]
+    # Results of any extra profilers run alongside the plan's path
+    # counters (profiler name -> collected result).
+    profiles: dict[str, object] = field(default_factory=dict)
 
     @property
     def overhead(self) -> float:
@@ -326,22 +328,27 @@ class ProfileRun:
 def run_with_plan(plan: ModulePlan, args: tuple = (),
                   cost_model: CostModel = DEFAULT_COSTS,
                   max_instructions: int = 500_000_000,
-                  backend: str | None = None) -> ProfileRun:
-    """Execute the module's main with the plan's instrumentation attached."""
-    machine = Machine(plan.module, cost_model=cost_model,
-                      max_instructions=max_instructions, backend=backend)
-    stores: dict[str, CounterStore] = {}
-    for name, fplan in plan.functions.items():
-        if not fplan.instrumented or fplan.placement is None:
-            continue
-        placement = fplan.placement
-        store = make_store(placement.num_hot, placement.counter_span,
-                           fplan.use_hash)
-        stores[name] = store
-        attach_function(machine, name, placement.edge_ops, store,
-                        checked=(fplan.poison_style == "check"))
-    result = machine.run(args=args)
-    return ProfileRun(plan, result, stores)
+                  backend: str | None = None,
+                  profilers: tuple[str, ...] = ()) -> ProfileRun:
+    """Execute the module's main with the plan's instrumentation attached.
+
+    The plan's path counters run as the plan-bound ``path`` plugin;
+    ``profilers`` names any extra registered profilers to fuse into the
+    same execution (their ops share edge hooks with the plan's and bill
+    the same cost counter, so overhead measured here includes them).
+    """
+    # Imported lazily: repro.profilers imports this module for the plan
+    # types, so a top-level import would be circular.
+    from ..profilers import PathPlanProfiler, create_profilers
+    from ..profilers.drive import execute_profilers
+
+    path = PathPlanProfiler(plan)
+    run = execute_profilers(
+        plan.module, [path, *create_profilers(profilers)], args=args,
+        cost_model=cost_model, max_instructions=max_instructions,
+        backend=backend)
+    stores = dict(run.profiles.pop(PathPlanProfiler.name))
+    return ProfileRun(plan, run.result, stores, profiles=run.profiles)
 
 
 def ppp_config_without(technique: str,

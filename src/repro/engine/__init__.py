@@ -23,7 +23,8 @@ from .results import (ExecutionRecord, SuiteExecutionReport, TECHNIQUES,
                       TaskFailure, TechniqueResult, WorkloadResult)
 from .session import ProfilingSession, default_session, set_default_session
 from .stages import (assemble_workload_result, compile_stage, expand_stage,
-                     ground_truth, plan_stage, score_technique)
+                     ground_truth, plan_stage, profile_stage,
+                     score_technique)
 
 __all__ = [
     "ArtifactCache", "CacheStats", "KindStats",
@@ -35,5 +36,5 @@ __all__ = [
     "TaskFailure", "TechniqueResult", "WorkloadResult",
     "ProfilingSession", "default_session", "set_default_session",
     "assemble_workload_result", "compile_stage", "expand_stage",
-    "ground_truth", "plan_stage", "score_technique",
+    "ground_truth", "plan_stage", "profile_stage", "score_technique",
 ]

@@ -39,16 +39,24 @@ from pathlib import Path
 from typing import Callable, Optional
 
 from . import faults
+from .fingerprint import CACHE_SCHEMA_VERSION
 
 __all__ = ["ArtifactCache", "CacheStats", "KindStats"]
 
 log = logging.getLogger(__name__)
 
-# On-disk envelope: MAGIC + sha256(payload) + payload.  The magic names
-# the envelope format, not the artifact schema -- semantic changes are
-# handled by CACHE_SCHEMA_VERSION salting every key.
-_MAGIC = b"RPROCAV1"
+# On-disk envelope v2: MAGIC + 4-byte big-endian schema version +
+# sha256(payload) + payload.  The magic names the envelope format;
+# semantic changes are handled by CACHE_SCHEMA_VERSION, which both salts
+# every key (so stale entries stop matching lookups) and is embedded in
+# the envelope (so sweeps can *identify* stale entries instead of merely
+# never hitting them).  Legacy v1 envelopes (no embedded version) were
+# last written at schema 5.
+_MAGIC = b"RPROCAV2"
+_MAGIC_V1 = b"RPROCAV1"
+_V1_SCHEMA = 5  # the schema version when the v1 envelope was retired
 _DIGEST_LEN = 32
+_SCHEMA_LEN = 4
 QUARANTINE_SUFFIX = ".corrupt"
 
 
@@ -61,6 +69,7 @@ class KindStats:
     stores: int = 0
     disk_hits: int = 0  # subset of ``hits`` served from the disk layer
     corrupt: int = 0    # disk entries that failed verification
+    stale: int = 0      # intact entries written under an older schema
 
 
 @dataclass
@@ -91,6 +100,10 @@ class CacheStats:
     @property
     def corrupt(self) -> int:
         return sum(k.corrupt for k in self.kinds.values())
+
+    @property
+    def stale(self) -> int:
+        return sum(k.stale for k in self.kinds.values())
 
     def summary(self) -> str:
         parts = []
@@ -192,9 +205,16 @@ class ArtifactCache:
             return _MISSING
         except OSError:
             return _MISSING
-        payload = self._verified_payload(raw)
+        payload, schema = self._parse_envelope(raw)
         if payload is None:
             self._quarantine(path, kind, "checksum mismatch")
+            return _MISSING
+        if schema != CACHE_SCHEMA_VERSION:
+            # Intact but written under an older schema.  Keys are salted
+            # by the schema version, so this address should never have
+            # matched -- still, never unpickle across schemas: count it,
+            # report a miss, and leave the file for ``repro cache gc``.
+            self._mark_stale(path, kind, schema)
             return _MISSING
         try:
             return pickle.loads(payload)
@@ -205,16 +225,40 @@ class ArtifactCache:
             return _MISSING
 
     @staticmethod
-    def _verified_payload(raw: bytes) -> Optional[bytes]:
-        """The payload bytes, or ``None`` when the envelope fails."""
-        header = len(_MAGIC) + _DIGEST_LEN
-        if len(raw) < header or not raw.startswith(_MAGIC):
-            return None
-        digest = raw[len(_MAGIC):header]
+    def _parse_envelope(raw: bytes) -> tuple[Optional[bytes], int]:
+        """``(payload, schema version)``; payload is ``None`` when the
+        envelope is malformed or fails its checksum."""
+        if raw.startswith(_MAGIC):
+            header = len(_MAGIC) + _SCHEMA_LEN + _DIGEST_LEN
+            if len(raw) < header:
+                return None, 0
+            schema = int.from_bytes(
+                raw[len(_MAGIC):len(_MAGIC) + _SCHEMA_LEN], "big")
+            digest = raw[len(_MAGIC) + _SCHEMA_LEN:header]
+        elif raw.startswith(_MAGIC_V1):
+            header = len(_MAGIC_V1) + _DIGEST_LEN
+            if len(raw) < header:
+                return None, 0
+            schema = _V1_SCHEMA
+            digest = raw[len(_MAGIC_V1):header]
+        else:
+            return None, 0
         payload = raw[header:]
         if hashlib.sha256(payload).digest() != digest:
-            return None
-        return payload
+            return None, 0
+        return payload, schema
+
+    @classmethod
+    def _verified_payload(cls, raw: bytes) -> Optional[bytes]:
+        """The payload bytes, or ``None`` when the envelope fails."""
+        return cls._parse_envelope(raw)[0]
+
+    def _mark_stale(self, path: Path, kind: str, schema: int) -> None:
+        self.stats.of(kind).stale += 1
+        log.warning(
+            "cache entry %s has stale schema v%d (current v%d); "
+            "run `repro cache gc` to remove stale entries",
+            path.name, schema, CACHE_SCHEMA_VERSION)
 
     def _quarantine(self, path: Path, kind: str, reason: str) -> None:
         """Rename a corrupt entry aside; it will be recomputed."""
@@ -245,6 +289,8 @@ class ArtifactCache:
             try:
                 with os.fdopen(fd, "wb") as handle:
                     handle.write(_MAGIC)
+                    handle.write(CACHE_SCHEMA_VERSION.to_bytes(
+                        _SCHEMA_LEN, "big"))
                     handle.write(digest)
                     handle.write(payload)
                 os.replace(tmp, self._disk_path(kind, key))
@@ -278,29 +324,64 @@ class ArtifactCache:
         return sorted(p for p in self.disk_dir.iterdir()
                       if p.name.endswith(QUARANTINE_SUFFIX))
 
-    def verify_disk(self) -> tuple[int, int]:
+    def verify_disk(self) -> tuple[int, int, int]:
         """Checksum every disk entry; quarantine failures.
 
-        Returns ``(ok, quarantined)``.  Verification reads the envelope
-        only -- payloads are never unpickled, so a hostile or stale file
-        cannot execute anything during a sweep.
+        Returns ``(ok, quarantined, stale)`` -- stale entries are intact
+        files written under an older schema version; they are counted
+        (and logged with a "run gc" hint) but left in place for
+        :meth:`gc_disk`.  Verification reads the envelope only --
+        payloads are never unpickled, so a hostile or stale file cannot
+        execute anything during a sweep.
         """
-        ok = quarantined = 0
+        ok = quarantined = stale = 0
         for path in self.disk_files():
             kind = path.name.split("-", 1)[0]
             try:
                 raw = path.read_bytes()
             except OSError:
                 continue
-            if self._verified_payload(raw) is None:
+            payload, schema = self._parse_envelope(raw)
+            if payload is None:
                 self._quarantine(path, kind, "checksum mismatch")
                 quarantined += 1
+            elif schema != CACHE_SCHEMA_VERSION:
+                self._mark_stale(path, kind, schema)
+                stale += 1
             else:
                 ok += 1
-        return ok, quarantined
+        return ok, quarantined, stale
+
+    def stale_files(self) -> list[Path]:
+        """Intact disk entries written under an older schema version."""
+        out: list[Path] = []
+        for path in self.disk_files():
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                continue
+            payload, schema = self._parse_envelope(raw)
+            if payload is not None and schema != CACHE_SCHEMA_VERSION:
+                out.append(path)
+        return out
+
+    def schema_census(self) -> dict[int, int]:
+        """Schema version -> number of intact disk entries carrying it
+        (0 stands for malformed/corrupt envelopes)."""
+        census: dict[int, int] = {}
+        for path in self.disk_files():
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                continue
+            payload, schema = self._parse_envelope(raw)
+            version = schema if payload is not None else 0
+            census[version] = census.get(version, 0) + 1
+        return census
 
     def gc_disk(self) -> tuple[int, int]:
-        """Delete quarantined entries and orphaned temp files.
+        """Delete quarantined entries, stale-schema entries, and
+        orphaned temp files.
 
         Returns ``(files_removed, bytes_reclaimed)``.
         """
@@ -308,6 +389,7 @@ class ArtifactCache:
         if self.disk_dir is None or not self.disk_dir.is_dir():
             return 0, 0
         doomed = list(self.quarantined_files())
+        doomed += self.stale_files()
         doomed += [p for p in self.disk_dir.iterdir()
                    if p.name.startswith(".tmp-")]
         for path in doomed:

@@ -30,7 +30,10 @@ from ..profiles.serialize import edge_profile_to_dict
 # 3: synthetic-block tags threaded through optimizer rebuilds.
 # 4: cached verifier/equivalence Reports (verifyreport/equiv kinds).
 # 5: checksummed disk envelope; WorkloadResult carries an ExecutionRecord.
-CACHE_SCHEMA_VERSION = 5
+# 6: profiler plugin framework -- execution-stage keys carry the session's
+#    profiler selection; ProfileRun/WorkloadResult carry profiles;
+#    disk envelope v2 embeds this schema version.
+CACHE_SCHEMA_VERSION = 6
 
 _SEP = "\x1f"  # unit separator: cannot appear in the joined parts
 

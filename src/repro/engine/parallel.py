@@ -79,6 +79,8 @@ class WorkloadTask:
     # pass their already-resolved backend so parent and workers agree.
     backend: Optional[str] = None
     verify_plans: bool = False
+    # Extra registry profilers to run alongside the pipeline (names).
+    profilers: tuple[str, ...] = ()
 
 
 def run_task(task: WorkloadTask,
@@ -94,7 +96,8 @@ def run_task(task: WorkloadTask,
 
     session = ProfilingSession(cache=ArtifactCache(disk_dir=disk_dir),
                                backend=task.backend,
-                               verify_plans=task.verify_plans)
+                               verify_plans=task.verify_plans,
+                               profilers=task.profilers)
     return session.run_workload(task.workload, task.scale,
                                 config=task.config,
                                 techniques=task.techniques,

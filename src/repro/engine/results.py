@@ -142,6 +142,10 @@ class WorkloadResult:
     edge_coverage: float
     techniques: dict[str, TechniqueResult]
     return_value: object
+    # Extra registry profilers' results over the expanded module
+    # (profiler name -> collected profile); empty unless the session ran
+    # with a --profilers selection.
+    profiles: dict[str, object] = field(default_factory=dict, repr=False)
     # Telemetry about the run that produced this result (retries,
     # degradation events); excluded from comparisons and JSON metrics so
     # faulty and fault-free runs stay byte-identical where it matters.

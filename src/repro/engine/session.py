@@ -72,6 +72,14 @@ class ProfilingSession:
         how many extra pool attempts a failed task gets before it falls
         back to running inline (see
         :class:`~repro.engine.parallel.ParallelRunner`).
+    profilers:
+        Names of extra registry profilers (see ``repro profilers``) the
+        session runs alongside the pipeline: they are fused into every
+        technique's instrumented execution (so measured overhead
+        includes them) and collected once per workload over the expanded
+        module into :attr:`WorkloadResult.profiles`.  Part of every
+        execution-stage cache key; the default (none) is byte-identical
+        to the pre-plugin pipeline.
     """
 
     def __init__(self, cache: Optional[ArtifactCache] = None, jobs: int = 1,
@@ -80,13 +88,17 @@ class ProfilingSession:
                  hot_threshold: float = HOT_THRESHOLD,
                  backend: Optional[str] = None,
                  verify_plans: Optional[bool] = None,
-                 timeout: Optional[float] = None, retries: int = 2):
+                 timeout: Optional[float] = None, retries: int = 2,
+                 profilers: Iterable[str] = ()):
+        from ..profilers import parse_profiler_names
+
         self.cache = cache if cache is not None else ArtifactCache()
         self.jobs = max(1, int(jobs))
         self.config = config
         self.techniques = tuple(techniques)
         self.hot_threshold = hot_threshold
         self.backend = resolve_backend(backend)
+        self.profilers = parse_profiler_names(tuple(profilers))
         if verify_plans is None:
             verify_plans = os.environ.get(
                 "REPRO_VERIFY", "").strip().lower() in ("1", "true", "yes",
@@ -132,6 +144,24 @@ class ProfilingSession:
         return self.cache.get_or_compute(
             "trace", key,
             lambda: stages.ground_truth(module, backend=self.backend))
+
+    def profile_module(self, module: Module,
+                       profilers: Optional[Iterable[str]] = None
+                       ) -> dict[str, object]:
+        """Run registry profilers over a module once (cached); defaults
+        to the session's own ``profilers`` selection."""
+        from ..profilers import parse_profiler_names
+
+        names = (self.profilers if profilers is None
+                 else parse_profiler_names(tuple(profilers)))
+        if not names:
+            return {}
+        key = fingerprint_text("profiles", fingerprint_module(module),
+                               ",".join(names), self.backend)
+        return self.cache.get_or_compute(
+            "profiles", key,
+            lambda: stages.profile_stage(module, names,
+                                         backend=self.backend))
 
     # ------------------------------------------------------------------
     # Back-half stages
@@ -209,13 +239,14 @@ class ProfilingSession:
                                fingerprint_edge_profile(plan_profile),
                                score_fp, fingerprint_config(cfg),
                                repr(hot), repr(expected_return),
-                               self.backend)
+                               self.backend, ",".join(self.profilers))
 
         def compute() -> TechniqueResult:
             plan = self.plan(technique, module, plan_profile, cfg)
             return stages.score_technique(name, plan, actual, scoring,
                                           hot, expected_return,
-                                          backend=self.backend)
+                                          backend=self.backend,
+                                          profilers=self.profilers)
 
         return self.cache.get_or_compute("technique", key, compute)
 
@@ -231,7 +262,7 @@ class ProfilingSession:
                                 workload.source(scale),
                                 fingerprint_config(config),
                                 ",".join(techniques), repr(hot_threshold),
-                                self.backend)
+                                self.backend, ",".join(self.profilers))
 
     def run_workload(self, workload: Workload, scale: int = 1,
                      config: Optional[ProfilerConfig] = None,
@@ -269,6 +300,8 @@ class ProfilingSession:
         result = stages.assemble_workload_result(
             workload, original, opt, actual_original, actual, edge_profile,
             return_value, results, hot_threshold)
+        if self.profilers:
+            result.profiles = self.profile_module(expanded)
         # Degradations the stages logged while building this result
         # (codegen fallbacks, cache quarantines) travel with it.
         result.execution.degradations.extend(faults.drain_degradations())
@@ -324,7 +357,8 @@ class ProfilingSession:
         runner = ParallelRunner(jobs=jobs, disk_dir=self.cache.disk_dir,
                                 timeout=self.timeout, retries=self.retries)
         tasks = [WorkloadTask(w, scale, config, techniques, hot,
-                              self.backend, self.verify_plans)
+                              self.backend, self.verify_plans,
+                              self.profilers)
                  for w in cold]
         fresh = dict(zip((w.name for w in cold), runner.run(tasks)))
 

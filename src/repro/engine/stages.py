@@ -16,7 +16,6 @@ from ..core import (DEFAULT_CONFIG, ModulePlan, ProfilerConfig,
                     evaluate_accuracy, evaluate_coverage,
                     evaluate_edge_coverage, instrumented_fraction, plan_pp,
                     plan_ppp, plan_tpp, run_with_plan)
-from ..interp import Machine
 from ..ir.function import Module
 from ..opt import OptimizationResult, expand_module
 from ..profiles import EdgeProfile, PathProfile
@@ -50,16 +49,36 @@ def expand_stage(module: Module, code_bloat: float) -> OptimizationResult:
 def ground_truth(module: Module,
                  backend: str | None = None
                  ) -> tuple[PathProfile, EdgeProfile, object]:
-    """Trace the module once: path profile, edge profile, return value."""
-    machine = Machine(module, collect_edge_profile=True, trace_paths=True,
-                      backend=backend)
-    result = machine.run()
-    assert result.path_counts is not None
-    assert result.edge_counts is not None and result.invocations is not None
-    actual = PathProfile.from_trace(module, result.path_counts)
-    profile = EdgeProfile.from_run(module, result.edge_counts,
-                                   result.invocations)
-    return actual, profile, result.return_value
+    """Trace the module once: path profile, edge profile, return value.
+
+    Runs as a composition of the three builtin registry plugins
+    (``path-trace``, ``edges``, ``calls``) -- they claim the machine's
+    native channels, so this is byte-identical to constructing the
+    machine with the flags directly.
+    """
+    from ..profilers import (EdgeCountProfiler, InvocationProfiler,
+                             PathTraceProfiler, execute_profilers)
+
+    run = execute_profilers(
+        module, [PathTraceProfiler(), EdgeCountProfiler(),
+                 InvocationProfiler()], backend=backend)
+    actual = PathProfile.from_trace(module, run.profiles["path-trace"])
+    profile = EdgeProfile.from_run(module, run.profiles["edges"],
+                                   run.profiles["calls"])
+    return actual, profile, run.result.return_value
+
+
+def profile_stage(module: Module, profilers: tuple[str, ...],
+                  backend: str | None = None) -> dict[str, object]:
+    """Run the named extra registry profilers over the module once and
+    return their collected results (profiler name -> result)."""
+    from ..profilers import create_profilers, execute_profilers
+
+    if not profilers:
+        return {}
+    run = execute_profilers(module, create_profilers(profilers),
+                            backend=backend)
+    return run.profiles
 
 
 # ----------------------------------------------------------------------
@@ -91,9 +110,15 @@ def score_technique(name: str, plan: ModulePlan, actual: PathProfile,
                     edge_profile: EdgeProfile,
                     hot_threshold: float = HOT_THRESHOLD,
                     expected_return: object = None,
-                    backend: str | None = None) -> TechniqueResult:
-    """Execute a plan and compute every per-technique metric."""
-    run = run_with_plan(plan, backend=backend)
+                    backend: str | None = None,
+                    profilers: tuple[str, ...] = ()) -> TechniqueResult:
+    """Execute a plan and compute every per-technique metric.
+
+    ``profilers`` names extra registry profilers fused into the same
+    instrumented execution; their cost is billed through the shared
+    counter, so the technique's measured overhead includes them.
+    """
+    run = run_with_plan(plan, backend=backend, profilers=profilers)
     if expected_return is not None \
             and run.run.return_value != expected_return:
         raise AssertionError(

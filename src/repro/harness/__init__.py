@@ -17,6 +17,8 @@ from .sampling_study import SamplingRow, sampling_study, sampling_table
 from .ifconvert_study import (IfConvertComparison, compare_ifconvert,
                               ifconvert_table)
 from .hpt_study import HptRow, hpt_study, hpt_table
+from .profiler_study import (ProfilerStudyRow, profiler_study,
+                             profiler_table)
 from .json_export import (save_suite_json, suite_to_dict,
                           workload_result_to_dict)
 from .report import mean, pct, render_table
@@ -37,6 +39,7 @@ __all__ = [
     "SamplingRow", "sampling_study", "sampling_table",
     "IfConvertComparison", "compare_ifconvert", "ifconvert_table",
     "HptRow", "hpt_study", "hpt_table",
+    "ProfilerStudyRow", "profiler_study", "profiler_table",
     "save_suite_json", "suite_to_dict", "workload_result_to_dict",
     "mean", "pct", "render_table",
 ]

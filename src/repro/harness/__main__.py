@@ -20,12 +20,12 @@ from ..engine import ArtifactCache, ProfilingSession
 from ..workloads import SUITE, get_workload
 from . import (figure9, figure10, figure11, figure12, figure13,
                hpt_table, ifconvert_table, metrics_table, net_table,
-               one_at_a_time, sampling_table, superblock_table,
-               table1, table2)
+               one_at_a_time, profiler_table, sampling_table,
+               superblock_table, table1, table2)
 
 EXPERIMENTS = ("table1", "table2", "fig9", "fig10", "fig11", "fig12",
                "fig13", "oaat", "net", "superblocks", "ifconvert",
-               "metrics", "sampling", "hpt", "all")
+               "metrics", "sampling", "hpt", "profilers", "all")
 
 DEFAULT_CACHE_DIR = "results/.cache"
 
@@ -35,7 +35,8 @@ def build_session(jobs: int = 1, no_cache: bool = False,
                   backend: str | None = None,
                   verify: bool | None = None,
                   timeout: float | None = None,
-                  retries: int = 2) -> ProfilingSession:
+                  retries: int = 2,
+                  profilers: tuple[str, ...] = ()) -> ProfilingSession:
     """The session a CLI invocation drives everything through."""
     if no_cache:
         cache = ArtifactCache(memory=False)
@@ -43,7 +44,7 @@ def build_session(jobs: int = 1, no_cache: bool = False,
         cache = ArtifactCache(disk_dir=cache_dir or None)
     return ProfilingSession(cache=cache, jobs=jobs, backend=backend,
                             verify_plans=verify, timeout=timeout,
-                            retries=retries)
+                            retries=retries, profilers=profilers)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -64,6 +65,11 @@ def main(argv: list[str] | None = None) -> int:
                         default=None,
                         help="interpreter backend (default: $REPRO_BACKEND "
                              "or compiled)")
+    parser.add_argument("--profilers", metavar="NAMES", default="",
+                        help="comma-separated extra registry profilers "
+                             "fused into every instrumented run (see "
+                             "'python -m repro profilers'); their results "
+                             "ride on each workload's record")
     parser.add_argument("--verify", action="store_true",
                         help="statically verify every instrumentation "
                              "plan before running it (or set "
@@ -120,10 +126,12 @@ def main(argv: list[str] | None = None) -> int:
         os.environ[faults.ENV_VAR] = plan.to_spec()
         faults.install_plan(plan)
 
+    from ..profilers import parse_profiler_names
     session = build_session(jobs=args.jobs, no_cache=args.no_cache,
                             cache_dir=args.cache_dir, backend=args.backend,
                             verify=True if args.verify else None,
-                            timeout=args.timeout, retries=args.retries)
+                            timeout=args.timeout, retries=args.retries,
+                            profilers=parse_profiler_names(args.profilers))
 
     start = time.time()
     if not args.quiet:
@@ -135,7 +143,7 @@ def main(argv: list[str] | None = None) -> int:
     wanted = ([args.experiment] if args.experiment != "all"
               else ["table1", "table2", "fig9", "fig10", "fig11", "fig12",
                     "fig13", "oaat", "net", "superblocks", "ifconvert",
-                    "metrics", "sampling", "hpt"])
+                    "metrics", "sampling", "hpt", "profilers"])
     renderers = {
         "table1": table1,
         "table2": table2,
@@ -151,6 +159,7 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": metrics_table,
         "sampling": lambda r: sampling_table(r, session=session),
         "hpt": hpt_table,
+        "profilers": lambda r: profiler_table(r, session=session),
     }
     for name in wanted:
         text = renderers[name](results)

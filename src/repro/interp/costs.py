@@ -38,6 +38,15 @@ class CostModel:
     poison_check:
         The extra conditional TPP executes per counted path when poison
         checks are enabled (PPP's free poisoning removes it).
+    value_record:
+        One value-profile table update (the value profiler's per-site
+        record; a hashed-table touch, priced like an array counter pair).
+    hist_update:
+        One histogram-bucket update (the trip-count profiler's per-exit
+        flush).
+    trip_incr:
+        One trip-counter increment on a loop back edge (a plain add,
+        priced like a register add).
     """
 
     ir_instruction: float = 1.0
@@ -46,6 +55,9 @@ class CostModel:
     count_array: float = 2.0
     count_hash: float = 10.0
     poison_check: float = 1.0
+    value_record: float = 2.0
+    hist_update: float = 2.0
+    trip_incr: float = 1.0
 
 
 DEFAULT_COSTS = CostModel()

@@ -110,7 +110,7 @@ class Frame:
     """One activation: registers, local arrays, and path-profiling state."""
 
     __slots__ = ("func_name", "regs", "arrays", "block", "ip", "ret_dst",
-                 "path_reg", "path_blocks")
+                 "path_reg", "path_blocks", "pstate")
 
     def __init__(self, func_name: str, num_slots: int,
                  arrays: dict[str, list], entry: str):
@@ -122,6 +122,9 @@ class Frame:
         self.ret_dst: Optional[int] = None  # caller slot for the return value
         self.path_reg = 0  # Ball-Larus path register (per activation)
         self.path_blocks: Optional[list[str]] = None  # tracer state
+        # Per-activation scratch for profiler plugins (e.g. live loop
+        # trip counters); lazily allocated by the first op that needs it.
+        self.pstate: Optional[dict] = None
 
 
 class _CompiledFunction:

@@ -194,13 +194,59 @@ def test_verify_disk_sweeps_and_quarantines(tmp_path):
     cache.store("trace", "bad", [3])
     bad = cache._disk_path("trace", "bad")
     bad.write_bytes(b"scrambled")
-    ok, quarantined = cache.verify_disk()
-    assert (ok, quarantined) == (2, 1)
+    ok, quarantined, stale = cache.verify_disk()
+    assert (ok, quarantined, stale) == (2, 1, 0)
     assert len(cache.disk_files()) == 2
     assert len(cache.quarantined_files()) == 1
     # A second sweep finds a clean directory.
-    assert cache.verify_disk() == (2, 0)
+    assert cache.verify_disk() == (2, 0, 0)
     drain_degradations()
+
+
+def _write_v1_entry(tmp_path, name, value):
+    """A well-formed envelope from the schema-5 era (v1 magic)."""
+    import hashlib
+    payload = pickle.dumps(value)
+    digest = hashlib.sha256(payload).digest()
+    path = tmp_path / name
+    path.write_bytes(b"RPROCAV1" + digest + payload)
+    return path
+
+
+def test_stale_schema_entry_is_a_miss_not_quarantined(tmp_path, caplog):
+    # An intact entry written under the previous schema is stale, not
+    # corrupt: it reads as a miss with a "run gc" hint and stays on disk.
+    import logging
+    path = _write_v1_entry(tmp_path, "plan-old.pkl", {"era": 5})
+    cache = ArtifactCache(disk_dir=tmp_path)
+    with caplog.at_level(logging.WARNING, logger="repro.engine.cache"):
+        assert cache.lookup("plan", "old") is None
+    assert cache.stats.of("plan").stale == 1
+    assert cache.stats.of("plan").corrupt == 0
+    assert cache.stats.stale == 1
+    assert path.exists()  # left in place for gc, not quarantined
+    assert cache.quarantined_files() == []
+    assert any("repro cache gc" in r.message for r in caplog.records)
+
+
+def test_verify_disk_counts_stale_entries(tmp_path):
+    cache = ArtifactCache(disk_dir=tmp_path)
+    cache.store("trace", "fresh", [1])
+    _write_v1_entry(tmp_path, "trace-old.pkl", [2])
+    assert cache.verify_disk() == (1, 0, 1)
+    assert cache.schema_census() == {CACHE_SCHEMA_VERSION: 1, 5: 1}
+    drain_degradations()
+
+
+def test_gc_disk_removes_stale_schema_entries(tmp_path):
+    cache = ArtifactCache(disk_dir=tmp_path)
+    cache.store("trace", "fresh", [1])
+    old = _write_v1_entry(tmp_path, "trace-old.pkl", [2])
+    removed, reclaimed = cache.gc_disk()
+    assert removed == 1 and reclaimed > 0
+    assert not old.exists()
+    fresh = ArtifactCache(disk_dir=tmp_path)
+    assert fresh.lookup("trace", "fresh") == [1]
 
 
 def test_gc_disk_removes_quarantined_and_temp_files(tmp_path):
