@@ -7,21 +7,33 @@ backends, measures interpreted IR instructions per second (best of
 the codegen cache), and writes ``BENCH_interp.json``:
 
     {
-      "schema": 1,
+      "schema": 2,
       "scale": 1,
+      "repeats": 3,
       "mode": "plain",
       "workloads": {
         "mcf": {"instructions": ..., "tuple_ops_per_sec": ...,
-                 "compiled_ops_per_sec": ..., "speedup": ...},
+                 "compiled_ops_per_sec": ..., "speedup": ...,
+                 "tier2_ops_per_sec": ..., "tier2_speedup": ...,
+                 "tier2_vs_tier1": ...},          # --tier2 only
         ...
       },
       "geomean_speedup": ...,
-      "min_speedup": ...
+      "min_speedup": ...,
+      "tier2_geomean_speedup": ...,               # --tier2 only
+      "tier2_min_speedup": ...,
+      "tier2_vs_tier1_geomean": ...
     }
 
 Subsequent PRs diff this file to track the perf trajectory; CI runs
 ``--smoke --min-speedup 1.0`` as a regression gate (fail if the compiled
-backend is ever slower than the reference interpreter).
+backend is ever slower than the reference interpreter).  ``--tier2``
+additionally measures profile-guided tier-2 codegen (one edge-profiling
+pass plans the layouts, then the same module is re-benchmarked under
+them) and gates the tier-2/tier-1 geomean ratio at ``--tier2-min-ratio``
+(default 1.0).  ``--compare OLD.json`` diffs this run against a saved
+report and exits non-zero on any per-workload speedup regression beyond
+``--compare-tolerance`` percent.
 
 ``--profilers`` switches to the profiler-overhead benchmark instead:
 each registered (non-plan-bound) profiler plugin runs alone over the
@@ -66,12 +78,14 @@ SMOKE_WORKLOADS = ("vpr", "mcf", "parser", "swim")
 
 
 def ops_per_sec(module, backend: str, repeats: int, profile: bool,
-                trace: bool) -> tuple[float, int]:
+                trace: bool, layouts: dict | None = None
+                ) -> tuple[float, int]:
     """Best-of-N interpreted ops/sec for one module on one backend."""
 
     def once() -> tuple[float, int]:
         machine = Machine(module, collect_edge_profile=profile,
-                          trace_paths=trace, backend=backend)
+                          trace_paths=trace, backend=backend,
+                          layouts=layouts)
         start = time.perf_counter()
         result = machine.run()
         elapsed = time.perf_counter() - start
@@ -82,10 +96,17 @@ def ops_per_sec(module, backend: str, repeats: int, profile: bool,
     return instructions / best, instructions
 
 
+def _geomean(values: list[float]) -> float:
+    return math.exp(sum(map(math.log, values)) / len(values))
+
+
 def run_bench(names: list[str], scale: int, repeats: int, profile: bool,
-              trace: bool) -> dict:
+              trace: bool, tier2: bool = False) -> dict:
+    from repro.interp import profile_and_plan
+
     workloads: dict[str, dict] = {}
     speedups: list[float] = []
+    tier2_speedups: list[float] = []
     for name in names:
         module = get_workload(name).compile(scale)
         rates = {backend: ops_per_sec(module, backend, repeats, profile,
@@ -99,19 +120,70 @@ def run_bench(names: list[str], scale: int, repeats: int, profile: bool,
             "compiled_ops_per_sec": round(rates["compiled"][0], 1),
             "speedup": round(speedup, 3),
         }
-        print(f"  {name:10s} tuple {rates['tuple'][0] / 1e6:7.2f} Mops/s   "
-              f"compiled {rates['compiled'][0] / 1e6:7.2f} Mops/s   "
-              f"{speedup:5.2f}x", flush=True)
-    geomean = math.exp(sum(map(math.log, speedups)) / len(speedups))
-    return {
-        "schema": 1,
+        line = (f"  {name:10s} tuple {rates['tuple'][0] / 1e6:7.2f} Mops/s"
+                f"   compiled {rates['compiled'][0] / 1e6:7.2f} Mops/s   "
+                f"{speedup:5.2f}x")
+        if tier2:
+            # The self-optimization loop: one edge-profiling pass plans
+            # the layouts, then the same module runs at tier 2.
+            layouts = profile_and_plan(module, backend="compiled")
+            t2_rate, _ = ops_per_sec(module, "compiled", repeats, profile,
+                                     trace, layouts=layouts)
+            t2_speedup = t2_rate / rates["tuple"][0]
+            tier2_speedups.append(t2_speedup)
+            workloads[name]["tier2_ops_per_sec"] = round(t2_rate, 1)
+            workloads[name]["tier2_speedup"] = round(t2_speedup, 3)
+            workloads[name]["tier2_vs_tier1"] = round(
+                t2_rate / rates["compiled"][0], 3)
+            line += (f"   tier2 {t2_rate / 1e6:7.2f} Mops/s   "
+                     f"{t2_speedup:5.2f}x")
+        print(line, flush=True)
+    report = {
+        "schema": 2,
         "scale": scale,
+        "repeats": repeats,
         "mode": ("profile+trace" if trace else
                  "profile" if profile else "plain"),
         "workloads": workloads,
-        "geomean_speedup": round(geomean, 3),
+        "geomean_speedup": round(_geomean(speedups), 3),
         "min_speedup": round(min(speedups), 3),
     }
+    if tier2:
+        report["tier2_geomean_speedup"] = round(_geomean(tier2_speedups), 3)
+        report["tier2_min_speedup"] = round(min(tier2_speedups), 3)
+        report["tier2_vs_tier1_geomean"] = round(
+            _geomean(tier2_speedups) / _geomean(speedups), 3)
+    return report
+
+
+def compare_reports(old: dict, new: dict, tolerance_pct: float
+                    ) -> list[str]:
+    """Per-workload regressions of ``new`` vs ``old`` beyond the
+    tolerance (in percent); empty when nothing regressed."""
+    problems: list[str] = []
+    if old.get("mode") != new.get("mode") \
+            or old.get("scale") != new.get("scale"):
+        problems.append(
+            f"incomparable runs: old mode/scale "
+            f"{old.get('mode')}/{old.get('scale')} vs new "
+            f"{new.get('mode')}/{new.get('scale')}")
+        return problems
+    floor = 1.0 - tolerance_pct / 100.0
+    keys = ("speedup", "tier2_speedup")
+    for name, old_row in sorted(old.get("workloads", {}).items()):
+        new_row = new.get("workloads", {}).get(name)
+        if new_row is None:
+            continue  # workload dropped from this run's selection
+        for key in keys:
+            if key not in old_row or key not in new_row:
+                continue
+            was, now = old_row[key], new_row[key]
+            if was > 0 and now < was * floor:
+                problems.append(
+                    f"{name}: {key} regressed {was:.3f}x -> {now:.3f}x "
+                    f"({(now / was - 1.0) * 100.0:+.1f}%, tolerance "
+                    f"-{tolerance_pct:.0f}%)")
+    return problems
 
 
 def profiler_ops_per_sec(module, profiler_names: tuple[str, ...],
@@ -168,8 +240,9 @@ def run_profiler_bench(names: list[str], scale: int, repeats: int) -> dict:
                   flush=True)
         report[plugin] = rows
     return {
-        "schema": 1,
+        "schema": 2,
         "scale": scale,
+        "repeats": repeats,
         "backend": "compiled",
         "baseline": baseline,
         "profilers": report,
@@ -193,6 +266,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="benchmark per-plugin profiler overhead vs "
                              "the no-observation baseline and write "
                              "BENCH_profilers.json instead")
+    parser.add_argument("--tier2", action="store_true",
+                        help="also benchmark profile-guided tier-2 "
+                             "codegen (layouts from a profiling pass) "
+                             "and gate tier-2 geomean >= tier-1 geomean")
+    parser.add_argument("--tier2-min-ratio", type=float, default=1.0,
+                        metavar="R",
+                        help="with --tier2: exit non-zero if the tier-2/"
+                             "tier-1 geomean ratio falls below R "
+                             "(default 1.0)")
+    parser.add_argument("--compare", metavar="OLD.json", default=None,
+                        help="compare this run against a previous "
+                             "BENCH_interp.json; exit non-zero on any "
+                             "per-workload speedup regression beyond "
+                             "--compare-tolerance")
+    parser.add_argument("--compare-tolerance", type=float, default=15.0,
+                        metavar="PCT",
+                        help="allowed per-workload speedup drop vs "
+                             "--compare baseline, in percent (default 15)")
     parser.add_argument("--out", default=None,
                         help="output path (default BENCH_interp.json, or "
                              "BENCH_profilers.json with --profilers)")
@@ -214,20 +305,45 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[written to {out}]")
         return 0
 
+    # Read the comparison baseline before --out can overwrite it.
+    old_report = None
+    if args.compare:
+        old_report = json.loads(Path(args.compare).read_text())
+
     report = run_bench(names, args.scale, args.repeats,
-                       profile=args.profiled, trace=args.profiled)
+                       profile=args.profiled, trace=args.profiled,
+                       tier2=args.tier2)
     args.out = args.out or "BENCH_interp.json"
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"geomean speedup: {report['geomean_speedup']:.2f}x   "
           f"min: {report['min_speedup']:.2f}x")
+    if args.tier2:
+        print(f"tier-2 geomean: {report['tier2_geomean_speedup']:.2f}x   "
+              f"vs tier-1: {report['tier2_vs_tier1_geomean']:.3f}x")
     print(f"[written to {args.out}]")
 
+    failed = False
     if args.min_speedup is not None \
             and report["min_speedup"] < args.min_speedup:
         print(f"FAIL: min speedup {report['min_speedup']:.2f}x is below "
               f"the required {args.min_speedup:.2f}x", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if args.tier2 \
+            and report["tier2_vs_tier1_geomean"] < args.tier2_min_ratio:
+        print(f"FAIL: tier-2/tier-1 geomean ratio "
+              f"{report['tier2_vs_tier1_geomean']:.3f}x is below the "
+              f"required {args.tier2_min_ratio:.2f}x", file=sys.stderr)
+        failed = True
+    if old_report is not None:
+        problems = compare_reports(old_report, report,
+                                   args.compare_tolerance)
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        if problems:
+            failed = True
+        else:
+            print(f"[no regressions vs {args.compare}]")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -93,10 +93,19 @@ def _load(path: str):
 
 def cmd_run(args) -> int:
     module = _load(args.file)
+    layouts = None
+    if args.tier2:
+        from .interp import profile_and_plan
+
+        layouts = profile_and_plan(module, backend=args.backend,
+                                   max_instructions=args.max_instructions)
     result = run_module(module, max_instructions=args.max_instructions,
-                        backend=args.backend)
+                        backend=args.backend, layouts=layouts)
     print(f"return value: {result.return_value}")
     print(f"instructions: {result.instructions_executed}")
+    if layouts is not None:
+        promoted = ", ".join(sorted(layouts)) or "(none)"
+        print(f"tier-2 functions: {promoted}")
     return 0
 
 
@@ -445,11 +454,12 @@ def cmd_equiv(args) -> int:
     if args.suite or args.benchmarks:
         session = _suite_session(args.cache_dir, args)
         results = equiv_suite(session, _chosen_workloads(args.benchmarks),
-                              passes=passes)
+                              passes=passes, tier2=args.tier2)
     elif args.file:
         module = _load(args.file)
         results = [(args.file, label, report)
-                   for label, report in equiv_module(module, passes=passes)]
+                   for label, report in equiv_module(module, passes=passes,
+                                                     tier2=args.tier2)]
     else:
         raise CliError("equiv needs a FILE or --suite")
 
@@ -507,6 +517,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("file")
     p_run.add_argument("--max-instructions", type=int, default=500_000_000)
     p_run.add_argument("--backend", **backend_kwargs)
+    p_run.add_argument("--tier2", action="store_true",
+                       help="profile first, then re-run with profile-"
+                            "guided tier-2 codegen for hot functions")
     p_run.set_defaults(fn=cmd_run)
 
     p_prof = sub.add_parser("profile", help="path-profile a program")
@@ -613,6 +626,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_equiv.add_argument("--passes", default="",
                          help="comma-separated subset of the optimizer "
                               "passes to validate (default: all six)")
+    p_equiv.add_argument("--tier2", action="store_true",
+                         help="also validate profile-guided tier-2 "
+                              "codegen (layouts derived from a tier-1 "
+                              "profiling pass)")
     p_equiv.add_argument("--cache-dir", default="results/.cache",
                          help="artifact cache directory for --suite "
                               "(empty = memory only)")

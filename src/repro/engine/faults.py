@@ -13,7 +13,9 @@ engine's components check for at well-defined points:
   so the corruption is latent until the entry is read back;
 * **codegen-fail** -- generating compiled-backend code for the named IR
   function raises :class:`CodegenFault`, forcing the per-function
-  tuple-loop fallback.
+  tuple-loop fallback.  ``codegen-fail=NAME@2`` scopes the fault to the
+  profile-guided tier only, which forces a tier-2 -> tier-1 demotion
+  instead (the next rung of the degradation ladder).
 
 Plans are activated programmatically (:func:`install_plan`) or through
 the ``REPRO_FAULTS`` environment variable / the CLIs' ``--chaos`` flag;
@@ -60,10 +62,12 @@ class DegradationEvent:
     """One graceful-degradation decision taken instead of crashing.
 
     Kinds: ``codegen-fallback`` (a function runs on the tuple loop),
-    ``inline-fallback`` (a task ran in the parent after pool retries or
-    because it cannot be pickled), ``pool-degraded`` (the pool itself was
-    unusable), ``cache-quarantine`` (a corrupt cache entry was renamed
-    aside and recomputed).
+    ``tier2-fallback`` (a function's profile-guided codegen failed and
+    it was regenerated at tier 1), ``inline-fallback`` (a task ran in
+    the parent after pool retries or because it cannot be pickled),
+    ``pool-degraded`` (the pool itself was unusable),
+    ``cache-quarantine`` (a corrupt cache entry was renamed aside and
+    recomputed).
     """
 
     kind: str
@@ -87,6 +91,7 @@ class FaultPlan:
     corrupt_kind: Optional[str] = None   # artifact kind to corrupt
     corrupt_nth: int = 0                 # which write of that kind
     codegen_fail: Optional[str] = None   # IR function name
+    codegen_fail_tier: Optional[int] = None  # restrict to one tier (2)
 
     @classmethod
     def from_spec(cls, spec: str) -> "FaultPlan":
@@ -116,7 +121,10 @@ class FaultPlan:
                     kwargs["corrupt_kind"] = kind
                     kwargs["corrupt_nth"] = int(nth) if nth else 0
                 elif key == "codegen-fail":
-                    kwargs["codegen_fail"] = value
+                    name, _, tier = value.partition("@")
+                    kwargs["codegen_fail"] = name
+                    if tier:
+                        kwargs["codegen_fail_tier"] = int(tier)
                 else:
                     raise FaultSpecError(f"unknown fault key {key!r}")
             except (TypeError, ValueError) as exc:
@@ -137,7 +145,9 @@ class FaultPlan:
             parts.append(f"corrupt-write={self.corrupt_kind}:"
                          f"{self.corrupt_nth}")
         if self.codegen_fail is not None:
-            parts.append(f"codegen-fail={self.codegen_fail}")
+            suffix = (f"@{self.codegen_fail_tier}"
+                      if self.codegen_fail_tier is not None else "")
+            parts.append(f"codegen-fail={self.codegen_fail}{suffix}")
         return ",".join(parts)
 
 
@@ -216,12 +226,17 @@ def corrupt_cache_payload(kind: str, payload: bytes) -> bytes:
     return payload[:start] + flipped + payload[start + len(window):]
 
 
-def maybe_fail_codegen(func_name: str) -> None:
-    """Raise :class:`CodegenFault` when the plan names this function."""
+def maybe_fail_codegen(func_name: str, tier: int = 1) -> None:
+    """Raise :class:`CodegenFault` when the plan names this function
+    (and, for a tier-scoped fault, this generation tier)."""
     plan = current_plan()
     if plan is not None and plan.codegen_fail == func_name:
+        if (plan.codegen_fail_tier is not None
+                and plan.codegen_fail_tier != tier):
+            return
         raise CodegenFault(
-            f"injected codegen failure for function {func_name!r}")
+            f"injected codegen failure for function {func_name!r} "
+            f"at tier {tier}")
 
 
 # ----------------------------------------------------------------------

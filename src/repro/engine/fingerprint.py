@@ -33,7 +33,9 @@ from ..profiles.serialize import edge_profile_to_dict
 # 6: profiler plugin framework -- execution-stage keys carry the session's
 #    profiler selection; ProfileRun/WorkloadResult carry profiles;
 #    disk envelope v2 embeds this schema version.
-CACHE_SCHEMA_VERSION = 6
+# 7: tiered codegen -- execution-stage keys carry the session's layout
+#    selection (tier-2 layout fingerprints); new "layout" stage kind.
+CACHE_SCHEMA_VERSION = 7
 
 _SEP = "\x1f"  # unit separator: cannot appear in the joined parts
 

@@ -24,6 +24,24 @@ trampoline, the emitter then chases the CFG from each segment's exit:
 * calls, cycles through other blocks, and budget exhaustion fall back to
   returning a precomputed integer segment id to the trampoline.
 
+**Tier 2**: when a :class:`~repro.interp.profile_guided.LayoutPlan` is
+supplied, the same emitter becomes profile-guided:
+
+* biased branches whose hot arm is the *then* target are emitted with an
+  inverted test (``if not <cond>:``), so the hot successor is always the
+  fall-through/inline arm -- superblock-style layout;
+* transfers into profile-cold blocks bounce to the trampoline instead of
+  inlining, which both shrinks the generated code and reserves the whole
+  ``INLINE_BUDGET`` for the hot chains seeded at superblock heads;
+* segments that start in a hot block promote the register slots they
+  touch into Python locals (``_rK``), loaded once in the segment
+  prologue and written back to ``frame.regs`` on every *exit* return --
+  never on a native ``continue``, so a spinning loop iteration touches
+  no list at all.  Localization is abandoned (the segment is re-emitted
+  slot-in-place) whenever the segment fuses an edge hook, because hooks
+  receive the frame and must observe ``frame.regs`` exactly as the tuple
+  interpreter would show it.
+
 Instruction accounting lives in the generated code: every exit path adds
 its exact instruction count (a compile-time constant) to the shared
 ``_ic`` cell and re-checks the ``max_instructions`` limit, matching the
@@ -38,20 +56,27 @@ trampoline):
 
 Semantics are byte-identical to the tuple interpreter (same C-style
 division, index wrapping, 0/1 comparisons, instruction counting, and
-traversal order of profile count -> hook -> tracer); the differential
-test in ``tests/test_interp_backends.py`` holds both backends to that
-contract across the whole workload suite.
+traversal order of profile count -> hook -> tracer) under *any* layout
+plan; the differential tests in ``tests/test_interp_backends.py`` and
+``tests/test_interp_tier2.py`` hold all tiers to that contract across
+the whole workload suite, and :mod:`repro.analysis.equiv` proves each
+generated module equivalent to its IR.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from ..cfg.loops import find_back_edges
 from ..ir.function import Function, Module
 from ..ir.instructions import (BinOp, Branch, Call, Const, GlobalLoad,
                                GlobalStore, Jump, Load, Mov, Ret, Select,
                                Store, UnOp)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .profile_guided import LayoutPlan
 
 __all__ = ["ModeSpec", "CodegenResult", "generate_source", "INLINE_BUDGET"]
 
@@ -89,34 +114,41 @@ class CodegenResult:
     block_entry_seg: dict = field(default_factory=dict)
 
 
-# Straight-line templates; {d}/{a}/{b} are register slot indices.
+# Straight-line templates; {d}/{a}/{b}/{c} are pre-rendered register
+# operands -- ``regs[K]`` subscripts, or ``_rK`` locals in a localized
+# tier-2 segment.
 _BIN_TEMPLATES = {
-    "+": "regs[{d}] = regs[{a}] + regs[{b}]",
-    "-": "regs[{d}] = regs[{a}] - regs[{b}]",
-    "*": "regs[{d}] = regs[{a}] * regs[{b}]",
-    "/": "regs[{d}] = _div(regs[{a}], regs[{b}])",
-    "%": "regs[{d}] = _mod(regs[{a}], regs[{b}])",
-    "<": "regs[{d}] = 1 if regs[{a}] < regs[{b}] else 0",
-    "<=": "regs[{d}] = 1 if regs[{a}] <= regs[{b}] else 0",
-    ">": "regs[{d}] = 1 if regs[{a}] > regs[{b}] else 0",
-    ">=": "regs[{d}] = 1 if regs[{a}] >= regs[{b}] else 0",
-    "==": "regs[{d}] = 1 if regs[{a}] == regs[{b}] else 0",
-    "!=": "regs[{d}] = 1 if regs[{a}] != regs[{b}] else 0",
-    "&": "regs[{d}] = int(regs[{a}]) & int(regs[{b}])",
-    "|": "regs[{d}] = int(regs[{a}]) | int(regs[{b}])",
-    "^": "regs[{d}] = int(regs[{a}]) ^ int(regs[{b}])",
-    "<<": "regs[{d}] = int(regs[{a}]) << (int(regs[{b}]) & 63)",
-    ">>": "regs[{d}] = int(regs[{a}]) >> (int(regs[{b}]) & 63)",
+    "+": "{d} = {a} + {b}",
+    "-": "{d} = {a} - {b}",
+    "*": "{d} = {a} * {b}",
+    "/": "{d} = _div({a}, {b})",
+    "%": "{d} = _mod({a}, {b})",
+    "<": "{d} = 1 if {a} < {b} else 0",
+    "<=": "{d} = 1 if {a} <= {b} else 0",
+    ">": "{d} = 1 if {a} > {b} else 0",
+    ">=": "{d} = 1 if {a} >= {b} else 0",
+    "==": "{d} = 1 if {a} == {b} else 0",
+    "!=": "{d} = 1 if {a} != {b} else 0",
+    "&": "{d} = int({a}) & int({b})",
+    "|": "{d} = int({a}) | int({b})",
+    "^": "{d} = int({a}) ^ int({b})",
+    "<<": "{d} = int({a}) << (int({b}) & 63)",
+    ">>": "{d} = int({a}) >> (int({b}) & 63)",
 }
 
 _UN_TEMPLATES = {
-    "-": "regs[{d}] = -regs[{a}]",
-    "!": "regs[{d}] = 1 if regs[{a}] == 0 else 0",
-    "~": "regs[{d}] = ~int(regs[{a}])",
+    "-": "{d} = -{a}",
+    "!": "{d} = 1 if {a} == 0 else 0",
+    "~": "{d} = ~int({a})",
 }
 
 _LIMIT_CHECK = ("if _ic[0] > _lim[0]: "
                 "raise _err('instruction limit exceeded (%d)' % _lim[0])")
+
+# Sentinel placed in the line stream wherever a localized segment must
+# write its promoted slots back to ``frame.regs``; expanded at assembly
+# time, once the full written-slot set is known.
+_WRITEBACK = "writeback"
 
 
 class _Namer:
@@ -164,41 +196,82 @@ def _segment_ranges(func: Function) -> tuple[list[tuple[str, int]],
     return segments, block_entry
 
 
-class _FunctionEmitter:
-    """Emits the generated module for one function under one mode."""
+class _Geometry:
+    """The per-function emission geometry: segment table, dense edge
+    index, and back-edge keys.  Depends only on the sealed IR, so it is
+    computed once per function and shared by every (mode, layout)
+    specialization the emitter is asked for."""
 
-    def __init__(self, func: Function, module: Module, spec: ModeSpec):
-        self.func = func
-        self.module = module
-        self.spec = spec
-        self.s = func.register_slots.__getitem__
-        self.blocks = func.cfg.blocks
+    __slots__ = ("segments", "block_entry", "range_seg", "edge_index",
+                 "back_keys")
+
+    def __init__(self, func: Function):
         self.segments, self.block_entry = _segment_ranges(func)
         # (block, start index) -> segment id, for call-resume points.
         self.range_seg = {key: i for i, key in enumerate(self.segments)}
-        self.local_names = _Namer("_l")
-        self.global_names = _Namer("_g")
-
         # Dense edge indexing in terminator order (deterministic,
         # matching the order seal() derived the CFG edges in).
         self.edge_index: dict[tuple[str, str], int] = {}
         for bname, _start in self.segments:
             if _start:
                 continue
-            term = self.blocks[bname].instructions[-1]
+            term = func.cfg.blocks[bname].instructions[-1]
             if isinstance(term, Jump):
-                targets = (term.target,)
+                targets: tuple[str, ...] = (term.target,)
             elif isinstance(term, Branch):
                 targets = (term.then_target, term.else_target)
             else:
                 targets = ()
             for target in targets:
                 self.edge_index[(bname, target)] = len(self.edge_index)
-
         back_uids = {e.uid for e in find_back_edges(func.cfg)}
         self.back_keys = {
             key for key in self.edge_index
             if func.edge_by_target[key[0]][key[1]].uid in back_uids}
+
+
+_GEOMETRY: "weakref.WeakKeyDictionary[Function, _Geometry]" = \
+    weakref.WeakKeyDictionary()
+
+
+def function_geometry(func: Function) -> _Geometry:
+    """The memoised :class:`_Geometry` of a sealed function."""
+    geo = _GEOMETRY.get(func)
+    if geo is None:
+        geo = _GEOMETRY[func] = _Geometry(func)
+    return geo
+
+
+class _FunctionEmitter:
+    """Emits the generated module for one function under one mode and
+    (optionally) one tier-2 layout plan."""
+
+    def __init__(self, func: Function, module: Module, spec: ModeSpec,
+                 layout: Optional["LayoutPlan"] = None):
+        self.func = func
+        self.module = module
+        self.spec = spec
+        self.layout = layout
+        self.s = func.register_slots.__getitem__
+        self.blocks = func.cfg.blocks
+        geo = function_geometry(func)
+        self.segments = geo.segments
+        self.block_entry = geo.block_entry
+        self.range_seg = geo.range_seg
+        self.edge_index = geo.edge_index
+        self.back_keys = geo.back_keys
+        self.local_names = _Namer("_l")
+        self.global_names = _Namer("_g")
+
+        if layout is not None:
+            self.preferred = layout.preferred_map()
+            self.cold_blocks = layout.cold_blocks
+            self.hot_blocks = layout.hot_blocks if layout.localize \
+                else frozenset()
+        else:
+            self.preferred = {}
+            self.cold_blocks = frozenset()
+            self.hot_blocks = frozenset()
 
         self.hook_order: dict[tuple[str, str], int] = {}
         for key in sorted(spec.hook_edges, key=self.edge_index.__getitem__):
@@ -210,11 +283,36 @@ class _FunctionEmitter:
         self.budget = 0
         self.start_block = ""
         self.at_block_start = False
+        self.localize = False
+        self.reg_reads: set[int] = set()
+        self.reg_writes: set[int] = set()
+        self.had_hook = False
+        self.had_continue = False
 
     # -- low-level writers ---------------------------------------------
 
     def w(self, indent: int, text: str) -> None:
         self.lines.append("    " * indent + text)
+
+    def rd(self, slot: int) -> str:
+        """A register read operand."""
+        if self.localize:
+            self.reg_reads.add(slot)
+            return f"_r{slot}"
+        return f"regs[{slot}]"
+
+    def wr(self, slot: int) -> str:
+        """A register write target."""
+        if self.localize:
+            self.reg_writes.add(slot)
+            return f"_r{slot}"
+        return f"regs[{slot}]"
+
+    def emit_writeback(self, indent: int) -> None:
+        """Mark a localized segment's exit point: expanded at assembly
+        into ``regs[K] = _rK`` for every slot the segment writes."""
+        if self.localize:
+            self.lines.append((_WRITEBACK, indent))  # type: ignore[arg-type]
 
     def array_ref(self, name: str) -> tuple[str, int]:
         """(python name, length) for an array operand; records local
@@ -227,32 +325,32 @@ class _FunctionEmitter:
     # -- instruction and edge emission ---------------------------------
 
     def emit_instr(self, instr, indent: int) -> None:
-        s, w = self.s, self.w
+        s, w, rd, wr = self.s, self.w, self.rd, self.wr
         if isinstance(instr, Const):
-            w(indent, f"regs[{s(instr.dst)}] = {instr.value!r}")
+            w(indent, f"{wr(s(instr.dst))} = {instr.value!r}")
         elif isinstance(instr, Mov):
-            w(indent, f"regs[{s(instr.dst)}] = regs[{s(instr.src)}]")
+            w(indent, f"{wr(s(instr.dst))} = {rd(s(instr.src))}")
         elif isinstance(instr, BinOp):
             w(indent, _BIN_TEMPLATES[instr.op].format(
-                d=s(instr.dst), a=s(instr.a), b=s(instr.b)))
+                d=wr(s(instr.dst)), a=rd(s(instr.a)), b=rd(s(instr.b))))
         elif isinstance(instr, UnOp):
             w(indent, _UN_TEMPLATES[instr.op].format(
-                d=s(instr.dst), a=s(instr.a)))
+                d=wr(s(instr.dst)), a=rd(s(instr.a))))
         elif isinstance(instr, Select):
-            w(indent, f"regs[{s(instr.dst)}] = regs[{s(instr.a)}] "
-                      f"if regs[{s(instr.cond)}] else regs[{s(instr.b)}]")
+            w(indent, f"{wr(s(instr.dst))} = {rd(s(instr.a))} "
+                      f"if {rd(s(instr.cond))} else {rd(s(instr.b))}")
         elif isinstance(instr, Load):
             name, length = self.array_ref(instr.array)
-            w(indent, f"regs[{s(instr.dst)}] = "
-                      f"{name}[int(regs[{s(instr.idx)}]) % {length}]")
+            w(indent, f"{wr(s(instr.dst))} = "
+                      f"{name}[int({rd(s(instr.idx))}) % {length}]")
         elif isinstance(instr, Store):
             name, length = self.array_ref(instr.array)
-            w(indent, f"{name}[int(regs[{s(instr.idx)}]) % {length}] = "
-                      f"regs[{s(instr.src)}]")
+            w(indent, f"{name}[int({rd(s(instr.idx))}) % {length}] = "
+                      f"{rd(s(instr.src))}")
         elif isinstance(instr, GlobalLoad):
-            w(indent, f"regs[{s(instr.dst)}] = _gs[{instr.name!r}]")
+            w(indent, f"{wr(s(instr.dst))} = _gs[{instr.name!r}]")
         elif isinstance(instr, GlobalStore):
-            w(indent, f"_gs[{instr.name!r}] = regs[{s(instr.src)}]")
+            w(indent, f"_gs[{instr.name!r}] = {rd(s(instr.src))}")
         else:  # pragma: no cover - terminators/calls handled by caller
             raise TypeError(f"cannot generate code for {instr!r}")
 
@@ -263,6 +361,9 @@ class _FunctionEmitter:
         if spec.profile:
             w(indent, f"_ec[{self.edge_index[key]}] += 1")
         if key in self.hook_order:
+            # Hooks observe frame.regs: a localized segment must be
+            # re-emitted slot-in-place (see emit_segment).
+            self.had_hook = True
             w(indent, f"_h{self.hook_order[key]}(frame)")
         if spec.trace:
             target = key[1]
@@ -297,9 +398,10 @@ class _FunctionEmitter:
         cost += i - start + 1
         self.budget -= i - start + 1
         if isinstance(instr, Call):
-            args = "".join(f"regs[{self.s(a)}], " for a in instr.args)
+            args = "".join(f"{self.rd(self.s(a))}, " for a in instr.args)
             dst = self.s(instr.dst) if instr.dst is not None else None
             self.emit_cost(cost, indent)
+            self.emit_writeback(indent)
             self.w(indent, f"return ({instr.func!r}, ({args}), {dst}, "
                            f"{self.range_seg[(bname, i + 1)]})")
         elif isinstance(instr, Ret):
@@ -308,11 +410,22 @@ class _FunctionEmitter:
             self.emit_edge((bname, instr.target), indent)
             self.emit_goto(instr.target, cost, indent, chain)
         elif isinstance(instr, Branch):
-            self.w(indent, f"if regs[{self.s(instr.cond)}]:")
-            self.emit_edge((bname, instr.then_target), indent + 1)
-            self.emit_goto(instr.then_target, cost, indent + 1, chain)
-            self.emit_edge((bname, instr.else_target), indent)
-            self.emit_goto(instr.else_target, cost, indent, chain)
+            cond = self.rd(self.s(instr.cond))
+            then_t, else_t = instr.then_target, instr.else_target
+            if then_t != else_t and self.preferred.get(bname) == then_t:
+                # Hot arm is the then target: invert the test so the hot
+                # successor is the fall-through (and inline-chased) arm.
+                self.w(indent, f"if not {cond}:")
+                self.emit_edge((bname, else_t), indent + 1)
+                self.emit_goto(else_t, cost, indent + 1, chain)
+                self.emit_edge((bname, then_t), indent)
+                self.emit_goto(then_t, cost, indent, chain)
+            else:
+                self.w(indent, f"if {cond}:")
+                self.emit_edge((bname, then_t), indent + 1)
+                self.emit_goto(then_t, cost, indent + 1, chain)
+                self.emit_edge((bname, else_t), indent)
+                self.emit_goto(else_t, cost, indent, chain)
         else:  # pragma: no cover - sealed IR always terminates blocks
             raise TypeError(f"block {bname!r} ends with {instr!r}")
 
@@ -321,17 +434,26 @@ class _FunctionEmitter:
         """Transfer to ``target``: native loop continue, trampoline
         bounce, or inline the target block."""
         if target == self.start_block and self.at_block_start:
-            # Back to this segment's own top: spin natively.
+            # Back to this segment's own top: spin natively.  Localized
+            # slots stay live across the continue -- no write-back.
+            self.had_continue = True
             self.emit_cost(cost, indent)
             self.w(indent, "continue")
-        elif target in chain or self.budget <= 0:
+        elif (target in chain or self.budget <= 0
+              or target in self.cold_blocks):
+            # Cycle, budget exhausted, or a profile-cold block: hand the
+            # transfer back to the trampoline (cold blocks are not worth
+            # the code bloat, and skipping them keeps the budget for the
+            # hot chain).
             self.emit_cost(cost, indent)
+            self.emit_writeback(indent)
             self.w(indent, f"return {self.block_entry[target]}")
         else:
             self.emit_range(target, 0, cost, indent, chain | {target})
 
     def emit_ret(self, instr: Ret, cost: int, indent: int) -> None:
-        value = f"regs[{self.s(instr.src)}]" if instr.src is not None else "0"
+        value = (self.rd(self.s(instr.src))
+                 if instr.src is not None else "0")
         self.emit_cost(cost, indent)
         if self.spec.trace:
             # Read the return value before the flush: a path listener
@@ -342,26 +464,53 @@ class _FunctionEmitter:
             self.w(indent, "_pc[_p] = _pc.get(_p, 0) + 1")
             if self.spec.listener:
                 self.w(indent, f"_pl({self.func.name!r}, _p)")
+            self.emit_writeback(indent)
             self.w(indent, "return (_rv,)")
         else:
+            self.emit_writeback(indent)
             self.w(indent, f"return ({value},)")
 
     # -- assembly ------------------------------------------------------
 
-    def emit_segment(self, seg_id: int) -> list[str]:
+    def _emit_body(self, seg_id: int, localize: bool) -> None:
         bname, start = self.segments[seg_id]
         self.lines = []
         self.used_locals = {}
         self.budget = INLINE_BUDGET
         self.start_block = bname
         self.at_block_start = (start == 0)
+        self.localize = localize
+        self.reg_reads = set()
+        self.reg_writes = set()
+        self.had_hook = False
+        self.had_continue = False
         self.emit_range(bname, start, 0, 3, frozenset({bname}))
+
+    def emit_segment(self, seg_id: int) -> list[str]:
+        bname, _start = self.segments[seg_id]
+        self._emit_body(seg_id, localize=bname in self.hot_blocks)
+        if self.localize and (self.had_hook or not self.had_continue):
+            # Localization only pays when the prologue load and exit
+            # write-back amortize over a native loop; a segment with no
+            # ``continue`` would pay them on every single entry.  And a
+            # fused hook observes frame.regs mid-segment, so promotion
+            # would show it stale locals.  Re-emit slot-in-place.
+            self._emit_body(seg_id, localize=False)
         out = [f"    def _seg_{seg_id}(frame, regs):"]
         out.extend(
             f"        {self.local_names.get(name)} = "
             f"frame.arrays[{name!r}]" for name in self.used_locals)
+        if self.localize:
+            out.extend(f"        _r{slot} = regs[{slot}]"
+                       for slot in sorted(self.reg_reads | self.reg_writes))
         out.append("        while True:")
-        out.extend(self.lines)
+        writeback = [f"regs[{slot}] = _r{slot}"
+                     for slot in sorted(self.reg_writes)]
+        for line in self.lines:
+            if isinstance(line, tuple):  # (_WRITEBACK, indent) sentinel
+                out.extend("    " * line[1] + text for text in writeback)
+            else:
+                out.append(line)
         return out
 
     def emit_module(self) -> str:
@@ -379,10 +528,16 @@ class _FunctionEmitter:
         return "\n".join([header, *body, footer, ""])
 
 
-def generate_source(func: Function, module: Module,
-                    spec: ModeSpec) -> CodegenResult:
-    """Translate one sealed function into a compilable Python module."""
-    emitter = _FunctionEmitter(func, module, spec)
+def generate_source(func: Function, module: Module, spec: ModeSpec,
+                    layout: Optional["LayoutPlan"] = None) -> CodegenResult:
+    """Translate one sealed function into a compilable Python module.
+
+    ``layout`` selects the profile-guided tier-2 emission (superblock
+    fall-through, cold-block bouncing, register localization); ``None``
+    is the tier-1 static layout.  Both tiers generate observationally
+    identical code.
+    """
+    emitter = _FunctionEmitter(func, module, spec, layout)
     source = emitter.emit_module()
     hook_keys = tuple(sorted(emitter.hook_order,
                              key=emitter.hook_order.__getitem__))

@@ -251,7 +251,16 @@ class Machine:
         :class:`~repro.analysis.equiv.CodegenValidationError` on any
         mismatch.  ``None`` consults the ``REPRO_EQUIV`` environment
         variable.  Only meaningful for the compiled backend; verdicts
-        are cached per function x mode, so steady state is free.
+        are cached per function x mode x layout, so steady state is free.
+    layouts:
+        Optional ``{func name: LayoutPlan}`` from
+        :mod:`repro.interp.profile_guided`: functions with a plan are
+        generated at **tier 2** (profile-guided layout) by the compiled
+        backend; everything else stays at tier 1.  :attr:`tiers` records
+        the tier each function actually ran at (2, 1, or 0 for the tuple
+        fallback) -- tier-2 codegen failures demote that function to
+        tier 1, and tier-1 failures degrade it to the tuple loop, so a
+        bad layout can never take a run down.
     """
 
     def __init__(self, module: Module, collect_edge_profile: bool = False,
@@ -261,7 +270,8 @@ class Machine:
                  path_listener: Optional[
                      Callable[[str, tuple[str, ...]], None]] = None,
                  backend: Optional[str] = None,
-                 validate_codegen: Optional[bool] = None):
+                 validate_codegen: Optional[bool] = None,
+                 layouts: Optional[dict] = None):
         self.module = module
         self.backend = resolve_backend(backend)
         if validate_codegen is None:
@@ -269,6 +279,12 @@ class Machine:
                 "REPRO_EQUIV", "") not in ("", "0")
         self.validate_codegen = validate_codegen
         self._backend_impl = None  # lazily-built CompiledBackend
+        # func name -> LayoutPlan for tier-2 generation (compiled backend).
+        self.layouts: dict = dict(layouts) if layouts else {}
+        # func name -> tier it actually ran at: 2 (profile-guided), 1
+        # (static compiled), 0 (tuple fallback).  Filled lazily as
+        # functions are first generated/executed.
+        self.tiers: dict[str, int] = {}
         # DegradationEvents recorded when a function's codegen failed and
         # execution fell back to the tuple loop for it (compiled backend).
         self.degradations: list = []
@@ -494,9 +510,11 @@ def run_module(module: Module, func: Optional[str] = None, args: tuple = (),
                collect_edge_profile: bool = False, trace_paths: bool = False,
                cost_model: CostModel = DEFAULT_COSTS,
                max_instructions: int = 500_000_000,
-               backend: Optional[str] = None) -> RunResult:
+               backend: Optional[str] = None,
+               layouts: Optional[dict] = None) -> RunResult:
     """One-shot convenience wrapper around :class:`Machine`."""
     machine = Machine(module, collect_edge_profile=collect_edge_profile,
                       trace_paths=trace_paths, cost_model=cost_model,
-                      max_instructions=max_instructions, backend=backend)
+                      max_instructions=max_instructions, backend=backend,
+                      layouts=layouts)
     return machine.run(func, args)

@@ -1,0 +1,255 @@
+"""Profile-guided tier-2 layout planning for the compiled backend.
+
+This module closes the loop the paper's profiler exists for: the PPP /
+edge profiles the system collects are spent on its *own* code generator.
+A :class:`LayoutPlan` captures everything the second codegen tier is
+allowed to exploit about one function's dynamic behaviour:
+
+* **superblock chains** -- the hottest Ball-Larus paths, reconstructed
+  from the edge profile with the existing definite-flow machinery
+  (:mod:`repro.profiles.flowsets` / :mod:`repro.profiles.reconstruct`);
+  chain heads are where the emitter seeds its inlining chase, so a whole
+  hot trace compiles into one straight generated segment;
+* **hot-successor fall-through** -- for every biased branch, the hot arm
+  becomes the untaken (fall-through / inline) case and the cold arm the
+  taken one, matching how a dynamic optimizer lays out superblocks;
+* **cold blocks** -- blocks the profile says are (almost) never reached
+  exit to the trampoline instead of being inlined, so the per-segment
+  ``INLINE_BUDGET`` is spent along the hot chain first;
+* **register localization** -- hot segments promote the IR's register
+  slots from ``frame.regs`` list subscripts into Python locals, writing
+  them back only on segment exit (never on a native loop ``continue``),
+  which is where most of tier 2's speedup comes from.  Localization is
+  disabled automatically for any segment that fuses an edge hook, since
+  hooks receive the frame and may observe ``frame.regs``.
+
+Layouts are *hints*: :func:`repro.interp.codegen.generate_source` stays
+bit-identical in observable behaviour under any plan (the translation
+validator in :mod:`repro.analysis.equiv` proves it per generated
+module), so a stale or even adversarial plan can cost performance but
+never correctness.
+
+:class:`PromotionPolicy` supplies the hotness thresholds: a function is
+promoted to tier 2 when its invocation count or its executed-instruction
+estimate clears the bar.  :func:`profile_and_plan` is the whole
+self-optimization loop in one call -- run an edge-profiling pass, build
+the module's :class:`~repro.profiles.edge_profile.EdgeProfile`, and
+derive one :class:`LayoutPlan` per hot function -- and is what
+``repro run --tier2``, ``scripts/bench.py --tier2``, and the session's
+``profile_guided`` mode all drive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
+
+from ..ir.function import Function, Module
+from ..ir.instructions import Branch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .machine import RunResult
+    from ..profiles.edge_profile import EdgeProfile, FunctionEdgeProfile
+
+__all__ = [
+    "LayoutPlan", "PromotionPolicy", "DEFAULT_POLICY", "derive_layout",
+    "derive_module_layouts", "fingerprint_layouts", "layouts_from_run",
+    "profile_and_plan",
+]
+
+
+@dataclass(frozen=True)
+class PromotionPolicy:
+    """When a function is hot enough for tier 2, and how aggressively
+    its layout is derived from the profile."""
+
+    #: Promote when invoked at least this many times ...
+    min_invocations: int = 32
+    #: ... or when its executed-instruction estimate clears this bar.
+    min_instructions: int = 4096
+    #: Reconstructed paths below this fraction of the routine's branch
+    #: flow are not worth a superblock chain.
+    path_cutoff_fraction: float = 0.05
+    #: Keep at most this many chains per function.
+    max_chains: int = 8
+    #: A block is *hot* (localized, chased first) at >= this fraction of
+    #: the function's peak block frequency.
+    hot_fraction: float = 1 / 16
+    #: A block is *cold* (bounced to the trampoline, never inlined) at
+    #: < this fraction of the peak block frequency.  The default bounces
+    #: only blocks the profile never saw execute (``freq == 0``): unlike
+    #: native code, Python gains no i-cache locality from compaction, so
+    #: bouncing a block that still runs costs a trampoline round-trip
+    #: per entry -- measurably negative on branchy workloads.
+    cold_fraction: float = 0.0
+    #: Promote hot segments' register slots to Python locals.
+    localize: bool = True
+
+
+DEFAULT_POLICY = PromotionPolicy()
+
+
+@dataclass(frozen=True)
+class LayoutPlan:
+    """One function's profile-derived tier-2 layout (hashable: it keys
+    the codegen cache and the translation validator's verdict cache)."""
+
+    #: Superblock chains, hottest first; each is a reconstructed hot
+    #: path's block sequence.  The head of a chain is a seed: its
+    #: segment chases the chain under the inline budget.
+    chains: tuple = ()
+    #: Blocks on the hot chains / above the hot-fraction bar.  Segments
+    #: starting in a hot block get register localization.
+    hot_blocks: frozenset = frozenset()
+    #: Blocks the profile says are (nearly) never reached; transfers to
+    #: them bounce to the trampoline instead of inlining.
+    cold_blocks: frozenset = frozenset()
+    #: ``(block, hot successor)`` for biased branches whose hot arm is
+    #: the *then* target: the emitter inverts the test so the hot arm
+    #: falls through.
+    preferred: tuple = ()
+    #: Whether hot segments promote register slots to locals.
+    localize: bool = True
+
+    def preferred_map(self) -> Dict[str, str]:
+        return dict(self.preferred)
+
+    def fingerprint(self) -> str:
+        """A stable content hash (cache keys include it, so tier-2
+        artifacts never collide with tier-1 or with other layouts)."""
+        text = repr((self.chains, tuple(sorted(self.hot_blocks)),
+                     tuple(sorted(self.cold_blocks)), self.preferred,
+                     self.localize))
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def _hot_chains(func: Function, fprofile: "FunctionEdgeProfile",
+                policy: PromotionPolicy) -> tuple:
+    """Reconstruct the function's hottest paths into superblock chains
+    (definite flow under the branch metric -- Figures 14/16)."""
+    from ..profiles.definite import definite_flow_paths
+
+    total = fprofile.branch_flow()
+    if total <= 0:
+        return ()
+    try:
+        paths = definite_flow_paths(
+            func, fprofile, cutoff=policy.path_cutoff_fraction * total)
+    except Exception:
+        # Irreducible or otherwise un-DAG-able control flow: tier 2
+        # still applies freq-based layout, just without chains.
+        return ()
+    ranked = sorted(paths, key=lambda p: (-p.freq, p.blocks))
+    chains: list = []
+    heads: set = set()
+    for path in ranked:
+        if len(chains) >= policy.max_chains:
+            break
+        blocks = tuple(path.blocks)
+        if not blocks or blocks[0] in heads:
+            continue
+        heads.add(blocks[0])
+        chains.append(blocks)
+    return tuple(chains)
+
+
+def derive_layout(func: Function, fprofile: "FunctionEdgeProfile",
+                  policy: PromotionPolicy = DEFAULT_POLICY
+                  ) -> Optional[LayoutPlan]:
+    """A :class:`LayoutPlan` for one function, or ``None`` when the
+    profile says it is not worth promoting."""
+    if fprofile is None or not fprofile.executed():
+        return None
+    freqs = {name: fprofile.block_freq(name) for name in func.cfg.blocks}
+    instructions = sum(
+        freqs[name] * len(block.instructions)
+        for name, block in func.cfg.blocks.items())
+    if (fprofile.entry_count < policy.min_invocations
+            and instructions < policy.min_instructions):
+        return None
+    peak = max(freqs.values(), default=0)
+    if peak <= 0:
+        return None
+
+    chains = _hot_chains(func, fprofile, policy)
+    hot = {b for chain in chains for b in chain}
+    hot_cut = max(1, int(peak * policy.hot_fraction))
+    hot.update(b for b, f in freqs.items() if f >= hot_cut)
+    cold_cut = max(1, int(peak * policy.cold_fraction))
+    cold = {b for b, f in freqs.items() if f < cold_cut} - hot
+
+    preferred: list = []
+    for bname in func.cfg.blocks:
+        term = func.cfg.blocks[bname].instructions[-1]
+        if not isinstance(term, Branch):
+            continue
+        then_t, else_t = term.then_target, term.else_target
+        if then_t == else_t:
+            continue
+        edges = func.edge_by_target[bname]
+        f_then = fprofile.edge_freq.get(edges[then_t].uid, 0)
+        f_else = fprofile.edge_freq.get(edges[else_t].uid, 0)
+        if f_then > f_else:
+            # The generated shape already falls through to the else arm;
+            # only a then-biased branch needs its test inverted.
+            preferred.append((bname, then_t))
+    return LayoutPlan(chains=chains, hot_blocks=frozenset(hot),
+                      cold_blocks=frozenset(cold),
+                      preferred=tuple(sorted(preferred)),
+                      localize=policy.localize)
+
+
+def derive_module_layouts(module: Module, edge_profile: "EdgeProfile",
+                          policy: PromotionPolicy = DEFAULT_POLICY
+                          ) -> Dict[str, LayoutPlan]:
+    """Per-function layout plans for every promoted function."""
+    layouts: Dict[str, LayoutPlan] = {}
+    for name, func in module.functions.items():
+        if not func.sealed:
+            continue
+        fprofile = edge_profile.functions.get(name)
+        if fprofile is None:
+            continue
+        plan = derive_layout(func, fprofile, policy)
+        if plan is not None:
+            layouts[name] = plan
+    return layouts
+
+
+def layouts_from_run(module: Module, result: "RunResult",
+                     policy: PromotionPolicy = DEFAULT_POLICY
+                     ) -> Dict[str, LayoutPlan]:
+    """Derive layouts from an edge-profiling :class:`RunResult`."""
+    from ..profiles.edge_profile import EdgeProfile
+
+    if result.edge_counts is None:
+        raise ValueError("tier-2 planning needs an edge-profiled run "
+                         "(collect_edge_profile=True)")
+    profile = EdgeProfile.from_run(module, result.edge_counts,
+                                   result.invocations or {})
+    return derive_module_layouts(module, profile, policy)
+
+
+def profile_and_plan(module: Module,
+                     policy: PromotionPolicy = DEFAULT_POLICY,
+                     backend: Optional[str] = None,
+                     max_instructions: int = 500_000_000
+                     ) -> Dict[str, LayoutPlan]:
+    """The self-optimization loop: run one tier-1 edge-profiling pass
+    over the module and derive tier-2 layouts for its hot functions."""
+    from .machine import Machine
+
+    machine = Machine(module, collect_edge_profile=True, backend=backend,
+                      max_instructions=max_instructions)
+    result = machine.run()
+    return layouts_from_run(module, result, policy)
+
+
+def fingerprint_layouts(layouts: Optional[Mapping[str, LayoutPlan]]) -> str:
+    """A stable fingerprint of a whole layout selection (cache keys)."""
+    if not layouts:
+        return "tier1"
+    inner = ",".join(f"{name}:{plan.fingerprint()}"
+                     for name, plan in sorted(layouts.items()))
+    return hashlib.sha256(inner.encode()).hexdigest()[:16]

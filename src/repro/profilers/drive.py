@@ -42,11 +42,13 @@ class ProfilersRun:
 def build_machine(module: Module, profilers: Sequence[Profiler],
                   cost_model: CostModel = DEFAULT_COSTS,
                   max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
-                  backend: Optional[str] = None
+                  backend: Optional[str] = None,
+                  layouts: Optional[dict] = None
                   ) -> Tuple[Machine, Attached]:
     """A machine with every profiler's channels enabled and observations
     attached (ops fused per edge, in profiler order), plus the per-
-    profiler observation records needed to collect results later."""
+    profiler observation records needed to collect results later.
+    ``layouts`` selects tier-2 codegen per function (compiled backend)."""
     names = [p.name for p in profilers]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate profilers selected: {names}")
@@ -55,7 +57,7 @@ def build_machine(module: Module, profilers: Sequence[Profiler],
         collect_edge_profile=any(p.channels.edge_profile for p in profilers),
         trace_paths=any(p.channels.trace_paths for p in profilers),
         cost_model=cost_model, max_instructions=max_instructions,
-        backend=backend)
+        backend=backend, layouts=layouts)
     attached: Attached = []
     per_func: dict[str, list[Tuple[FunctionObservations, Profiler]]] = {}
     for profiler in profilers:
@@ -81,10 +83,12 @@ def execute_profilers(module: Module, profilers: Sequence[Profiler],
                       args: Tuple[object, ...] = (),
                       cost_model: CostModel = DEFAULT_COSTS,
                       max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
-                      backend: Optional[str] = None) -> ProfilersRun:
+                      backend: Optional[str] = None,
+                      layouts: Optional[dict] = None) -> ProfilersRun:
     """Run the module's main once under ``profilers``."""
     machine, attached = build_machine(
         module, profilers, cost_model=cost_model,
-        max_instructions=max_instructions, backend=backend)
+        max_instructions=max_instructions, backend=backend,
+        layouts=layouts)
     result = machine.run(args=args)
     return ProfilersRun(result, collect_profiles(machine, attached))

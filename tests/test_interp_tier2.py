@@ -1,0 +1,331 @@
+"""Profile-guided tier-2 codegen: planning, equivalence, degradation.
+
+Tier 2 re-generates hot functions' code under a profile-derived
+:class:`~repro.interp.LayoutPlan` (superblock chains, hot-successor
+fall-through, cold-block bouncing, register localization).  Layouts are
+*hints*: every observable -- return value, instruction count, edge and
+path profiles, cost accounting -- must be bit-identical to the tuple
+reference under any plan, including adversarial ones, and a tier-2
+generation failure must demote that one function to tier 1 (never all
+the way to the tuple loop).
+"""
+
+import dataclasses
+import re
+
+import pytest
+
+from repro.engine import faults
+from repro.engine.faults import FaultPlan
+from repro.interp import (DEFAULT_POLICY, LayoutPlan, Machine,
+                          PromotionPolicy, derive_layout,
+                          fingerprint_layouts, layouts_from_run,
+                          profile_and_plan)
+from repro.workloads import SUITE, get_workload
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.clear_plan()
+    faults.drain_degradations()
+    yield
+    faults.clear_plan()
+    faults.drain_degradations()
+
+
+def _run(module, backend, layouts=None, observe=False):
+    machine = Machine(module, collect_edge_profile=observe,
+                      trace_paths=observe, backend=backend,
+                      layouts=layouts)
+    return machine, machine.run()
+
+
+def _assert_equal_runs(got, want, observe=False):
+    assert got.return_value == want.return_value
+    assert got.instructions_executed == want.instructions_executed
+    assert got.costs.base == want.costs.base
+    if observe:
+        assert got.edge_counts == want.edge_counts
+        assert got.path_counts == want.path_counts
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+
+class TestPlanning:
+    def test_suite_promotes_hot_functions(self):
+        module = get_workload("mcf").compile(1)
+        layouts = profile_and_plan(module, backend="tuple")
+        assert layouts  # something in mcf is hot
+        for name, plan in layouts.items():
+            assert isinstance(plan, LayoutPlan)
+            blocks = set(module.functions[name].cfg.blocks)
+            assert plan.hot_blocks <= blocks
+            assert plan.cold_blocks <= blocks
+            assert not (plan.hot_blocks & plan.cold_blocks)
+
+    def test_promotion_thresholds_respected(self):
+        module = get_workload("mcf").compile(1)
+        machine = Machine(module, collect_edge_profile=True,
+                          backend="tuple")
+        result = machine.run()
+        # An impossible bar promotes nothing.
+        nothing = layouts_from_run(
+            module, result,
+            PromotionPolicy(min_invocations=10**9,
+                            min_instructions=10**12))
+        assert nothing == {}
+        # The default bar promotes a subset of the zero bar.
+        everything = layouts_from_run(
+            module, result,
+            PromotionPolicy(min_invocations=0, min_instructions=0))
+        default = layouts_from_run(module, result, DEFAULT_POLICY)
+        assert set(default) <= set(everything)
+
+    def test_unprofiled_run_rejected(self):
+        module = get_workload("mcf").compile(1)
+        machine = Machine(module, backend="tuple")
+        result = machine.run()
+        with pytest.raises(ValueError, match="edge-profiled"):
+            layouts_from_run(module, result)
+
+    def test_never_executed_function_not_promoted(self):
+        module = get_workload("mcf").compile(1)
+        fprofile = None
+        layout = derive_layout(module.functions[module.main], fprofile) \
+            if fprofile else None
+        assert layout is None
+
+    def test_layout_fingerprints_stable_and_distinct(self):
+        module = get_workload("mcf").compile(1)
+        layouts = profile_and_plan(module, backend="tuple")
+        again = profile_and_plan(module, backend="tuple")
+        assert fingerprint_layouts(layouts) == fingerprint_layouts(again)
+        assert fingerprint_layouts({}) == "tier1"
+        assert fingerprint_layouts(None) == "tier1"
+        name, plan = next(iter(layouts.items()))
+        tweaked = dict(layouts)
+        tweaked[name] = dataclasses.replace(plan, localize=not plan.localize)
+        assert fingerprint_layouts(tweaked) != fingerprint_layouts(layouts)
+
+
+# ----------------------------------------------------------------------
+# Observational equivalence
+# ----------------------------------------------------------------------
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name", [w.name for w in SUITE])
+    def test_plain_run_matches_tuple(self, name):
+        module = get_workload(name).compile(1)
+        layouts = profile_and_plan(module, backend="tuple")
+        _m, want = _run(module, "tuple")
+        machine, got = _run(module, "compiled", layouts=layouts)
+        _assert_equal_runs(got, want)
+        for fname in layouts:
+            assert machine.tiers.get(fname) == 2, \
+                f"{fname} did not reach tier 2"
+
+    @pytest.mark.parametrize("name", ["mcf", "crafty", "parser", "swim"])
+    def test_observed_run_matches_tuple(self, name):
+        module = get_workload(name).compile(1)
+        layouts = profile_and_plan(module, backend="tuple")
+        _m, want = _run(module, "tuple", observe=True)
+        _machine, got = _run(module, "compiled", layouts=layouts,
+                             observe=True)
+        _assert_equal_runs(got, want, observe=True)
+
+    def test_adversarial_layout_is_only_a_hint(self):
+        # Everything cold, every branch preference inverted, bogus
+        # chains: the worst possible plan may be slow, never wrong.
+        module = get_workload("vpr").compile(1)
+        _m, want = _run(module, "tuple", observe=True)
+        layouts = {}
+        for name, func in module.functions.items():
+            if not func.sealed:
+                continue
+            blocks = tuple(func.cfg.blocks)
+            from repro.ir.instructions import Branch
+            preferred = []
+            for bname, block in func.cfg.blocks.items():
+                term = block.instructions[-1]
+                if isinstance(term, Branch) \
+                        and term.then_target != term.else_target:
+                    preferred.append((bname, term.then_target))
+            layouts[name] = LayoutPlan(
+                chains=(blocks[::-1],),
+                hot_blocks=frozenset(blocks),
+                cold_blocks=frozenset(),
+                preferred=tuple(sorted(preferred)), localize=True)
+        machine, got = _run(module, "compiled", layouts=layouts,
+                            observe=True)
+        _assert_equal_runs(got, want, observe=True)
+        assert machine.degradations == []
+
+    def test_tier_map_reports_tier1_without_layouts(self):
+        module = get_workload("mcf").compile(1)
+        machine, _ = _run(module, "compiled")
+        assert machine.tiers
+        assert set(machine.tiers.values()) == {1}
+
+
+# ----------------------------------------------------------------------
+# Translation validation at tier 2
+# ----------------------------------------------------------------------
+
+class TestValidation:
+    def test_tier2_codegen_validates(self):
+        from repro.analysis.equiv import check_module_codegen
+
+        module = get_workload("mcf").compile(1)
+        layouts = profile_and_plan(module, backend="tuple")
+        report = check_module_codegen(module, layouts=layouts)
+        assert report.ok, report.format()
+
+    def _tier2_source(self):
+        from repro.interp.codegen import ModeSpec, generate_source
+
+        module = get_workload("mcf").compile(1)
+        layouts = profile_and_plan(module, backend="tuple")
+        spec = ModeSpec(profile=True, trace=False, listener=False,
+                        hook_edges=frozenset())
+        for name, plan in sorted(layouts.items()):
+            result = generate_source(module.functions[name], module,
+                                     spec, plan)
+            if re.search(r"^\s*regs\[\d+\] = _r\d+$", result.source,
+                         re.M):
+                return module, name, plan, spec, result
+        pytest.skip("no localized segment with a writeback in mcf")
+
+    def test_missing_writeback_caught(self):
+        # Deleting one register writeback leaves a local dirty across a
+        # segment exit -- the validator's distinct-input modeling of
+        # localized slots must flag the stale frame state (E104).
+        from repro.analysis.equiv import (CodegenValidationError,
+                                          check_generated)
+
+        module, name, plan, spec, result = self._tier2_source()
+        m = re.search(r"^\s*regs\[(\d+)\] = _r\1$", result.source, re.M)
+        source = result.source[:m.start()] + result.source[m.end() + 1:]
+        with pytest.raises(CodegenValidationError) as excinfo:
+            check_generated(module.functions[name], module, spec,
+                            dataclasses.replace(result, source=source),
+                            plan)
+        assert any(d.code == "E104" for d in excinfo.value.report)
+
+    def test_unflipped_branch_caught(self):
+        # Tier 2 inverts then-biased branch tests; flipping one back
+        # without swapping the arms decides the branch on the wrong
+        # polarity and must fail validation.
+        from repro.analysis.equiv import (CodegenValidationError,
+                                          check_generated)
+
+        module, name, plan, spec, result = self._tier2_source()
+        m = re.search(r"^(\s*)if not (.+):$", result.source, re.M)
+        if m is None:
+            pytest.skip("no inverted branch in this layout")
+        source = (result.source[:m.start()]
+                  + f"{m.group(1)}if {m.group(2)}:"
+                  + result.source[m.end():])
+        with pytest.raises(CodegenValidationError):
+            check_generated(module.functions[name], module, spec,
+                            dataclasses.replace(result, source=source),
+                            plan)
+
+
+# ----------------------------------------------------------------------
+# Degradation ladder: tier 2 -> tier 1 -> tuple
+# ----------------------------------------------------------------------
+
+class TestDegradation:
+    def test_tier2_fault_demotes_to_tier1_not_tuple(self):
+        module = get_workload("mcf").compile(1)
+        layouts = profile_and_plan(module, backend="tuple")
+        victim = next(iter(sorted(layouts)))
+        _m, want = _run(module, "tuple", observe=True)
+        faults.install_plan(FaultPlan.from_spec(
+            f"codegen-fail={victim}@2"))
+        machine, got = _run(module, "compiled", layouts=layouts,
+                            observe=True)
+        _assert_equal_runs(got, want, observe=True)
+        assert machine.tiers[victim] == 1  # demoted, still compiled
+        events = [(d.kind, d.subject) for d in machine.degradations]
+        assert events == [("tier2-fallback", victim)]
+        backend = machine._backend_impl
+        assert victim in backend.functions  # not tuple-looped
+
+    def test_tier_scoped_fault_spec_roundtrips(self):
+        plan = FaultPlan.from_spec("codegen-fail=relax@2")
+        assert plan.codegen_fail == "relax"
+        assert plan.codegen_fail_tier == 2
+        assert "codegen-fail=relax@2" in plan.to_spec()
+
+    def test_tier1_fault_without_layouts_degrades_to_tuple(self):
+        module = get_workload("mcf").compile(1)
+        _m, want = _run(module, "tuple", observe=True)
+        faults.install_plan(FaultPlan(codegen_fail=module.main))
+        machine, got = _run(module, "compiled", observe=True)
+        _assert_equal_runs(got, want, observe=True)
+        assert machine.tiers[module.main] == 0
+        assert [(d.kind, d.subject) for d in machine.degradations] == \
+            [("codegen-fallback", module.main)]
+
+    def test_untier_scoped_fault_under_layouts_hits_both_tiers(self):
+        # A fault not scoped to tier 2 fires again at tier 1, so the
+        # ladder walks all the way down to the tuple loop -- and the
+        # results are still identical.
+        module = get_workload("mcf").compile(1)
+        layouts = profile_and_plan(module, backend="tuple")
+        victim = next(iter(sorted(layouts)))
+        _m, want = _run(module, "tuple", observe=True)
+        faults.install_plan(FaultPlan(codegen_fail=victim))
+        machine, got = _run(module, "compiled", layouts=layouts,
+                            observe=True)
+        _assert_equal_runs(got, want, observe=True)
+        assert machine.tiers[victim] == 0
+        kinds = [d.kind for d in machine.degradations
+                 if d.subject == victim]
+        assert kinds == ["tier2-fallback", "codegen-fallback"]
+
+
+# ----------------------------------------------------------------------
+# The session loop
+# ----------------------------------------------------------------------
+
+class TestSessionLoop:
+    def test_profile_guided_session_identical_results(self):
+        from repro.engine import ProfilingSession
+
+        workloads = [get_workload("mcf")]
+        plain = ProfilingSession().run_suite(workloads)
+        guided = ProfilingSession(profile_guided=True).run_suite(workloads)
+        for name in plain:
+            a, b = plain[name], guided[name]
+            assert a.return_value == b.return_value
+            assert a.edge_accuracy == b.edge_accuracy
+            for tech in a.techniques:
+                assert a.techniques[tech].overhead == \
+                    b.techniques[tech].overhead
+                assert a.techniques[tech].accuracy == \
+                    b.techniques[tech].accuracy
+
+    def test_layout_stage_cached(self):
+        from repro.engine import ProfilingSession
+
+        session = ProfilingSession(profile_guided=True)
+        module = session.compile(get_workload("mcf"))
+        _actual, edge_profile, _rv = session.trace(module)
+        first = session.module_layouts(module, edge_profile)
+        second = session.module_layouts(module, edge_profile)
+        assert first == second
+        stats = session.cache.stats.of("layout")
+        assert stats.misses == 1 and stats.hits == 1
+
+    def test_layouts_empty_unless_profile_guided(self):
+        from repro.engine import ProfilingSession
+
+        session = ProfilingSession()
+        module = session.compile(get_workload("mcf"))
+        _actual, edge_profile, _rv = session.trace(module)
+        assert session.module_layouts(module, edge_profile) == {}
