@@ -40,9 +40,16 @@ Subcommands
     generated code equivalent to the IR under every observation mode,
     and prove each optimizer pass semantics-preserving via a per-pass
     simulation relation.  Exits nonzero on any mismatch.
+``conserve [FILE | --suite]``
+    Flow-conservation counter inference: plan a spanning-tree probe
+    placement for every function (measured edge weights when a profile
+    is available, the paper's static estimator otherwise) and statically
+    prove it uniquely solvable with an exact round-trip — i.e. that the
+    non-probe edge counters are redundant and safe to delete.  Exits
+    nonzero when any placement fails its proof.
 
-``verify``, ``lint``, and ``equiv`` accept ``--json`` for a structured
-report (one JSON document on stdout) that CI can diff.
+``verify``, ``lint``, ``equiv``, and ``conserve`` accept ``--json`` for
+a structured report (one JSON document on stdout) that CI can diff.
 
 Examples::
 
@@ -56,6 +63,8 @@ Examples::
     python -m repro verify --suite
     python -m repro lint program.minic
     python -m repro equiv --suite --json
+    python -m repro conserve --suite
+    python -m repro run program.minic --sparse-edges
 """
 
 from __future__ import annotations
@@ -99,8 +108,26 @@ def cmd_run(args) -> int:
 
         layouts = profile_and_plan(module, backend=args.backend,
                                    max_instructions=args.max_instructions)
-    result = run_module(module, max_instructions=args.max_instructions,
-                        backend=args.backend, layouts=layouts)
+    if args.sparse_edges:
+        from .analysis.conservation import static_placement
+        from .profilers import create_profilers
+        from .profilers.drive import execute_profilers
+        run = execute_profilers(module, create_profilers(["edges-sparse"]),
+                                max_instructions=args.max_instructions,
+                                backend=args.backend, layouts=layouts)
+        result = run.result
+        counts = run.profiles["edges-sparse"]
+        placements = [static_placement(func)
+                      for func in module.functions.values()]
+        probes = sum(p.num_probes for p in placements)
+        edges = sum(p.num_edges for p in placements)
+        events = sum(c for per_func in counts.values()
+                     for c in per_func.values())
+        print(f"sparse edge counting: {probes}/{edges} edges probed, "
+              f"{events} edge events reconstructed")
+    else:
+        result = run_module(module, max_instructions=args.max_instructions,
+                            backend=args.backend, layouts=layouts)
     print(f"return value: {result.return_value}")
     print(f"instructions: {result.instructions_executed}")
     if layouts is not None:
@@ -488,6 +515,54 @@ def cmd_equiv(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_conserve(args) -> int:
+    import time
+
+    from .analysis import Severity, conserve_suite, verify_conservation
+    from .analysis.conservation import DEFAULT_WALK_CAP
+
+    if args.walk_cap is None:
+        args.walk_cap = DEFAULT_WALK_CAP
+    start = time.time()
+    if args.suite or args.benchmarks:
+        session = _suite_session(args.cache_dir, args)
+        reports = conserve_suite(session, _chosen_workloads(args.benchmarks),
+                                 walk_cap=args.walk_cap)
+    elif args.file:
+        module = _load(args.file)
+        _actual, edge_profile, _rv = ground_truth(module)
+        report = verify_conservation(module,
+                                     profiles=edge_profile.functions,
+                                     walk_cap=args.walk_cap)
+        report.title = args.file
+        reports = [report]
+    else:
+        raise CliError("conserve needs a FILE or --suite")
+
+    failed = sum(1 for report in reports if not report.ok)
+    if args.json:
+        import json
+        print(json.dumps({
+            "command": "conserve", "ok": not failed,
+            "modules": len(reports), "failed": failed,
+            "elapsed_s": round(time.time() - start, 3),
+            "reports": [r.to_dict() for r in reports],
+        }, indent=2, sort_keys=True))
+        return 1 if failed else 0
+    for report in reports:
+        for diag in report:
+            if diag.severity >= Severity.WARNING or args.verbose:
+                print(f"{report.title}: {diag.format()}")
+        if not args.quiet:
+            status = "FAIL" if not report.ok else "ok"
+            print(f"[{status}] {report.summary()}")
+    modules = len(reports)
+    print(f"conserve: {modules} module{'s' if modules != 1 else ''}: "
+          f"{modules - failed} ok, {failed} failed "
+          f"({time.time() - start:.1f}s)")
+    return 1 if failed else 0
+
+
 def _add_fault_options(parser: argparse.ArgumentParser) -> None:
     """The fault-tolerance knobs shared by the suite-driving commands."""
     parser.add_argument("--timeout", type=float, default=None,
@@ -520,6 +595,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--tier2", action="store_true",
                        help="profile first, then re-run with profile-"
                             "guided tier-2 codegen for hot functions")
+    p_run.add_argument("--sparse-edges", action="store_true",
+                       help="count edges only on conservation probes and "
+                            "reconstruct the full edge profile afterward")
     p_run.set_defaults(fn=cmd_run)
 
     p_prof = sub.add_parser("profile", help="path-profile a program")
@@ -641,6 +719,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="only print failures and the final line")
     _add_fault_options(p_equiv)
     p_equiv.set_defaults(fn=cmd_equiv)
+
+    p_cons = sub.add_parser(
+        "conserve",
+        help="prove spanning-tree probe placements via flow conservation")
+    p_cons.add_argument("file", nargs="?",
+                        help="a MiniC file (omit with --suite)")
+    p_cons.add_argument("--suite", action="store_true",
+                        help="prove a placement for every suite function")
+    p_cons.add_argument("--benchmarks", default="",
+                        help="comma-separated benchmark subset")
+    p_cons.add_argument("--walk-cap", type=int, metavar="N", default=None,
+                        help="entry-to-exit walk enumeration cap for the "
+                             "round-trip proof (default 256)")
+    p_cons.add_argument("--cache-dir", default="results/.cache",
+                        help="artifact cache directory for --suite "
+                             "(empty = memory only)")
+    p_cons.add_argument("--json", action="store_true",
+                        help="emit one structured JSON report on stdout")
+    p_cons.add_argument("--verbose", action="store_true",
+                        help="also print informational findings "
+                             "(per-function probe statistics)")
+    p_cons.add_argument("--quiet", action="store_true",
+                        help="only print failures and the final line")
+    _add_fault_options(p_cons)
+    p_cons.set_defaults(fn=cmd_conserve)
     return parser
 
 

@@ -7,7 +7,7 @@ Three layers, all reporting structured :class:`Diagnostic` records:
   assignment, liveness, and dominance-frontier clients;
 * :mod:`repro.analysis.lint` — advisory IR lint passes built on the
   framework (use-before-def, dead stores, unreachable blocks, constant
-  branches, shadowed names);
+  branches, shadowed names, duplicate branch targets);
 * :mod:`repro.analysis.verify` — the static plan verifier proving the
   Ball–Larus numbering/placement/poisoning invariants for PP/TPP/PPP
   plans, plus :mod:`repro.analysis.mutate` for seeding corruptions the
@@ -16,8 +16,18 @@ Three layers, all reporting structured :class:`Diagnostic` records:
   translation validator: a concolic symbolic executor over the register
   IR, a codegen client proving the compiled backend's generated Python
   equivalent to the IR it was emitted from, and a pass client proving a
-  per-pass simulation relation between pre- and post-optimization CFGs.
+  per-pass simulation relation between pre- and post-optimization CFGs;
+* :mod:`repro.analysis.conservation` — flow-conservation counter
+  inference: spanning-tree probe placements, the reconstruction solver,
+  and the V6xx proof pass in :mod:`repro.analysis.verify` that certifies
+  a placement's unique solvability and exact round-trip.
 """
+
+from .conservation import (ConservationError, ProbePlacement, ReconStep,
+                           VIRTUAL_UID, basis_flows, block_counts,
+                           enumerate_walk_flows, measured_edge_weights,
+                           plan_function_probes, plan_probes, reconstruct,
+                           static_placement)
 
 from .dataflow import (DataflowProblem, DataflowResult, Def,
                        DefiniteAssignment, DominatorSets, LiveRegisters,
@@ -29,16 +39,23 @@ from .equiv import (PASS_NAMES, CodegenValidationError, ExploreLimits,
                     check_profiler_codegen, equiv_module, equiv_suite,
                     standard_modes)
 from .lint import lint_function, lint_module
-from .mutate import (CODEGEN_MUTATIONS, MUTATIONS, PASS_MUTATIONS,
-                     applicable_mutations, mutate_module, mutate_plan,
-                     mutate_source)
+from .mutate import (CODEGEN_MUTATIONS, CONSERVATION_MUTATIONS, MUTATIONS,
+                     PASS_MUTATIONS, applicable_mutations, mutate_module,
+                     mutate_placement, mutate_plan, mutate_source)
+from .sampling import SAMPLE_TARGET, sample_ids, sample_stride
 from .symexec import (IRSymbolicExecutor, SymState, Term, TermFactory,
                       format_term, ops_equal)
 from .verify import (DEFAULT_PATH_CAP, PlanVerificationError,
-                     verify_function_plan, verify_module_plan,
-                     verify_observations, verify_suite)
+                     conserve_suite, verify_conservation,
+                     verify_conservation_function, verify_function_plan,
+                     verify_module_plan, verify_observations,
+                     verify_placement, verify_suite)
 
 __all__ = [
+    "ConservationError", "ProbePlacement", "ReconStep", "VIRTUAL_UID",
+    "basis_flows", "block_counts", "enumerate_walk_flows",
+    "measured_edge_weights", "plan_function_probes", "plan_probes",
+    "reconstruct", "static_placement",
     "DataflowProblem", "DataflowResult", "Def", "DefiniteAssignment",
     "DominatorSets", "LiveRegisters", "ReachingDefinitions",
     "dominance_frontiers", "solve",
@@ -48,11 +65,14 @@ __all__ = [
     "check_pass", "check_profiler_codegen", "equiv_module", "equiv_suite",
     "standard_modes",
     "lint_function", "lint_module",
-    "CODEGEN_MUTATIONS", "MUTATIONS", "PASS_MUTATIONS",
-    "applicable_mutations", "mutate_module", "mutate_plan",
-    "mutate_source",
+    "CODEGEN_MUTATIONS", "CONSERVATION_MUTATIONS", "MUTATIONS",
+    "PASS_MUTATIONS", "applicable_mutations", "mutate_module",
+    "mutate_placement", "mutate_plan", "mutate_source",
+    "SAMPLE_TARGET", "sample_ids", "sample_stride",
     "IRSymbolicExecutor", "SymState", "Term", "TermFactory",
     "format_term", "ops_equal",
-    "DEFAULT_PATH_CAP", "PlanVerificationError", "verify_function_plan",
-    "verify_module_plan", "verify_observations", "verify_suite",
+    "DEFAULT_PATH_CAP", "PlanVerificationError", "conserve_suite",
+    "verify_conservation", "verify_conservation_function",
+    "verify_function_plan", "verify_module_plan", "verify_observations",
+    "verify_placement", "verify_suite",
 ]

@@ -178,12 +178,17 @@ def _back_keys(func: Function) -> set[tuple[str, str]]:
 
 def standard_modes(func: Function) -> tuple[ModeSpec, ...]:
     """The observation-mode lattice every function is validated under:
-    plain, profiling, tracing, tracing+listener, and everything at once
-    with a hook on every edge."""
+    plain, profiling, sparse (conservation-probe) profiling, tracing,
+    tracing+listener, and everything at once with a hook on every
+    edge."""
+    from .conservation import static_placement
+
     all_edges = frozenset(_edge_index(func))
+    sparse = static_placement(func).probe_keys
     return (
         ModeSpec(),
         ModeSpec(profile=True),
+        ModeSpec(profile=True, probes=sparse),
         ModeSpec(trace=True),
         ModeSpec(trace=True, listener=True),
         ModeSpec(profile=True, trace=True, listener=True,
@@ -638,7 +643,9 @@ class _CodegenChecker:
         mode = (f"profile={int(self.spec.profile)} "
                 f"trace={int(self.spec.trace)} "
                 f"listener={int(self.spec.listener)} "
-                f"hooks={len(self.spec.hook_edges)}")
+                f"hooks={len(self.spec.hook_edges)}"
+                + (f" probes={len(self.spec.probes)}"
+                   if self.spec.probes is not None else ""))
         try:
             seg_defs, local_maps, localized_sets = self._parse_module()
         except _Unrecognized as exc:
@@ -820,7 +827,8 @@ class _CodegenChecker:
                 raise _Unrecognized(f"block {block!r} terminator")
 
             key = (block, target)
-            if spec.profile:
+            if spec.profile and (spec.probes is None
+                                 or key in spec.probes):
                 ops.append(("count", self.edge_index[key]))
             if key in self.hook_order:
                 ops.append(("hook", self.hook_order[key]))
@@ -968,11 +976,15 @@ def check_profiler_codegen(module: Module, profilers: Sequence[object]
     just the standard lattice.
     """
     from ..interp.costs import DEFAULT_COSTS
+    from ..profilers.drive import fused_edge_probes
 
     report = Report(title=f"codegen equivalence: {module.name} "
                           f"[profilers]")
     contributions = [(p, p.instrument(module, DEFAULT_COSTS))
                      for p in profilers]
+    # The sparse probe map the machine would run under (None when any
+    # edge-profile consumer needs dense counts).
+    probe_map = fused_edge_probes(module, profilers)
     for fname, func in module.functions.items():
         if not func.sealed:
             continue
@@ -996,12 +1008,15 @@ def check_profiler_codegen(module: Module, profilers: Sequence[object]
             union |= keys
         modes: list[ModeSpec] = [ModeSpec(hook_edges=keys)
                                  for keys in per_profiler if keys]
+        probes = (probe_map.get(fname)
+                  if profile and probe_map is not None else None)
         modes.append(ModeSpec(profile=profile, trace=trace,
-                              hook_edges=frozenset(union)))
+                              hook_edges=frozenset(union),
+                              probes=probes))
         seen: set = set()
         unique = [m for m in modes
                   if (key := (m.profile, m.trace, m.listener,
-                              m.hook_edges)) not in seen
+                              m.hook_edges, m.probes)) not in seen
                   and not seen.add(key)]
         check_function_codegen(func, module, unique, report)
     return report
@@ -1021,7 +1036,9 @@ def check_generated(func: Function, module: Module, spec: ModeSpec,
     error.  Verdicts are cached per function x mode x layout, so
     steady-state reruns are free."""
     key = (spec.profile, spec.trace, spec.listener,
-           tuple(sorted(spec.hook_edges)), layout)
+           tuple(sorted(spec.hook_edges)),
+           None if spec.probes is None else tuple(sorted(spec.probes)),
+           layout)
     done = _VALIDATED.setdefault(func, set())
     if key in done:
         return

@@ -15,6 +15,11 @@ front-end or optimizer bug worth a look:
 * ``L005`` shadowed/duplicate name — a local array shadows a global, a
   parameter shadows a global scalar, a parameter list repeats a name, or
   a module names a scalar and an array identically.
+* ``L006`` duplicate branch target — several out-edges of one block lead
+  to the same successor (a branch whose arms coincide, or parallel
+  edges); dynamically the machine keys edge events by (block, target),
+  so the bundle's counts collapse onto one edge and profiles, probe
+  placements, and hot-arm layouts cannot tell its members apart.
 
 Findings located in synthetic (optimizer- or instrumentation-inserted)
 blocks are attributed with ``synthetic=True`` and demoted to ``INFO``
@@ -195,8 +200,38 @@ def check_shadowed_names(func: Function, module: Optional[Module] = None,
     return diags
 
 
+def check_duplicate_targets(func: Function,
+                            warn_synthetic: bool = False
+                            ) -> list[Diagnostic]:
+    """``L006``: several out-edges of one block share a successor."""
+    diags: list[Diagnostic] = []
+    for name, block in func.cfg.blocks.items():
+        bundles: dict[str, int] = {}
+        for edge in block.succ_edges:
+            if edge.dummy:
+                continue
+            bundles[edge.dst] = bundles.get(edge.dst, 0) + 1
+        term = block.instructions[-1] if block.instructions else None
+        for dst in sorted(bundles):
+            if bundles[dst] < 2:
+                continue
+            shape = ("branch arms coincide on"
+                     if isinstance(term, Branch)
+                     and term.then_target == term.else_target
+                     else f"{bundles[dst]} parallel edges reach")
+            diags.append(_diag(
+                func, name, "L006",
+                f"{shape} successor {dst!r}",
+                "collapse the bundle (a coinciding branch is a jump); "
+                "edge events are keyed by (block, target), so the "
+                "members' counts are dynamically indistinguishable",
+                warn_synthetic))
+    return diags
+
+
 _FUNCTION_CHECKS = (check_use_before_def, check_dead_stores,
-                    check_unreachable_blocks, check_constant_branches)
+                    check_unreachable_blocks, check_constant_branches,
+                    check_duplicate_targets)
 
 
 def lint_function(func: Function, module: Optional[Module] = None,

@@ -1,6 +1,6 @@
 """Seeded corruptions, for verifier and equivalence-checker testing.
 
-Three families, all deterministic (the first applicable site wins) and
+Four families, all deterministic (the first applicable site wins) and
 all applied to copies — never to the caller's object:
 
 * **plan mutations** (:func:`mutate_plan`) corrupt a
@@ -16,16 +16,24 @@ all applied to copies — never to the caller's object:
   :class:`~repro.ir.function.Module` the way an optimizer bug would
   (retargeted jump, stale register rename, nudged constant),
   preferring the optimizer's own synthetic blocks; the pass client of
-  :mod:`repro.analysis.equiv` must flag every one.
+  :mod:`repro.analysis.equiv` must flag every one;
+* **conservation mutations** (:func:`mutate_placement`) corrupt a
+  :class:`~repro.analysis.conservation.ProbePlacement` the way a
+  counter-inference bug would (probe on a tree edge, dropped cotree
+  probe, wrong reconstruction coefficient);
+  :func:`repro.analysis.verify.verify_placement` must flag every one
+  while passing the pristine placement.
 """
 
 from __future__ import annotations
 
 import copy
+import dataclasses
 import re
 from typing import Callable, Iterator, Optional
 
 from ..core.ops import AddReg, CountConst, CountReg, InstrOp, SetReg
+from .conservation import VIRTUAL_UID, ProbePlacement
 from ..core.pipeline import FunctionPlan, ModulePlan
 from ..ir.function import Function, Module
 from ..ir.instructions import (BinOp, Branch, Call, Const, GlobalStore,
@@ -470,6 +478,71 @@ _PASS_MUTATORS: dict[str, Callable[[Module], bool]] = {
 }
 
 PASS_MUTATIONS: tuple[str, ...] = tuple(_PASS_MUTATORS)
+
+
+# ----------------------------------------------------------------------
+# Conservation mutations: corrupting a probe placement
+# ----------------------------------------------------------------------
+
+def _cons_probe_on_tree(placement: ProbePlacement
+                        ) -> Optional[ProbePlacement]:
+    """Also probe a spanning-tree edge (a redundant counter survives)."""
+    if not placement.tree_uids:
+        return None
+    uid = min(placement.tree_uids)
+    return dataclasses.replace(placement,
+                               probe_uids=placement.probe_uids | {uid})
+
+
+def _cons_drop_probe(placement: ProbePlacement
+                     ) -> Optional[ProbePlacement]:
+    """Delete one cotree probe (an edge count becomes unrecoverable)."""
+    if not placement.probe_uids:
+        return None
+    uid = min(placement.probe_uids)
+    return dataclasses.replace(placement,
+                               probe_uids=placement.probe_uids - {uid})
+
+
+def _cons_flip_coefficient(placement: ProbePlacement
+                           ) -> Optional[ProbePlacement]:
+    """Flip the sign of one reconstruction term that reads a probe
+    count or the invocation count -- the basis flow for that input is
+    nonzero there, so the round-trip proof must see the mismatch."""
+    for step_index, step in enumerate(placement.steps):
+        for term_index, (uid, coefficient) in enumerate(step.terms):
+            if uid != VIRTUAL_UID and uid not in placement.probe_uids:
+                continue
+            terms = list(step.terms)
+            terms[term_index] = (uid, -coefficient)
+            steps = list(placement.steps)
+            steps[step_index] = dataclasses.replace(
+                step, terms=tuple(terms))
+            return dataclasses.replace(placement, steps=tuple(steps))
+    return None
+
+
+_CONSERVATION_MUTATORS: dict[
+        str, Callable[[ProbePlacement], Optional[ProbePlacement]]] = {
+    "probe-on-tree-edge": _cons_probe_on_tree,
+    "drop-cotree-probe": _cons_drop_probe,
+    "wrong-recon-coefficient": _cons_flip_coefficient,
+}
+
+CONSERVATION_MUTATIONS: tuple[str, ...] = tuple(_CONSERVATION_MUTATORS)
+
+
+def mutate_placement(placement: ProbePlacement,
+                     kind: str) -> Optional[ProbePlacement]:
+    """A new placement with one seeded corruption of ``kind``, or
+    ``None`` when the placement offers no applicable site (e.g. no
+    probes on a tree-only CFG).  Placements are frozen, so mutators
+    rebuild rather than copy."""
+    if kind not in _CONSERVATION_MUTATORS:
+        raise ValueError(
+            f"unknown conservation mutation kind {kind!r}; "
+            f"choose from {', '.join(CONSERVATION_MUTATIONS)}")
+    return _CONSERVATION_MUTATORS[kind](placement)
 
 
 def mutate_module(module: Module, kind: str) -> Optional[Module]:

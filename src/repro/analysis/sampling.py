@@ -1,0 +1,32 @@
+"""Deterministic sampling of large enumeration spaces.
+
+Several analyses enumerate a space that is usually small but occasionally
+explodes (Ball-Larus path ids, conservation walk flows).  Above a cap they
+fall back to a deterministic stride sample so that (a) runs are
+reproducible bit-for-bit and (b) the sample spreads across the whole id
+range rather than clustering at the low end.  This helper is the single
+home for that logic; the plan verifier and the conservation proof pass
+both use it.
+"""
+
+from __future__ import annotations
+
+# A prime target keeps the stride from resonating with the powers of two
+# that path-id spaces are built from.
+SAMPLE_TARGET = 997
+
+
+def sample_stride(total: int, target: int = SAMPLE_TARGET) -> int:
+    """The stride that visits about ``target`` ids out of ``total``."""
+    if target <= 0:
+        raise ValueError("sample target must be positive")
+    return max(1, total // target)
+
+
+def sample_ids(total: int, target: int = SAMPLE_TARGET) -> range:
+    """Deterministic spread of about ``target`` ids from ``range(total)``.
+
+    When ``total <= target`` every id is produced, so callers need no
+    separate exhaustive/sampled code paths.
+    """
+    return range(0, total, sample_stride(total, target))

@@ -35,6 +35,15 @@ on (diagnostic codes in parentheses):
   decision matches ``hash_threshold`` (V403), ``static_ops`` is honest
   (V404), every instrumented edge uid exists in the CFG (V405), and the
   placement's live set is the numbering's (V105).
+* **Counter inference** — :func:`verify_placement` proves a
+  flow-conservation probe placement
+  (:mod:`repro.analysis.conservation`) correct: the reconstruction
+  program solves every tree edge exactly once from already-known counts
+  (V601), probes and tree edges partition the real edges with every
+  self-loop probed (V602), and reconstruction round-trips exactly on a
+  fundamental-cycle basis of the conservation solution space plus
+  enumerated execution walks (V603; V604 notes a truncated walk space,
+  V600 reports how many counters the proof deletes).
 
 :func:`verify_module_plan` folds in :func:`repro.ir.validate` findings
 (V000) so one report subsumes structural IR validity, and
@@ -49,9 +58,15 @@ from typing import TYPE_CHECKING, Iterable, Optional
 from ..cfg.graph import Edge
 from ..core.ops import AddReg, CountConst, CountReg, InstrOp, SetReg
 from ..core.pipeline import FunctionPlan, ModulePlan, ProfilerConfig
+from ..ir.function import Function, Module
 from ..ir.validate import validate_module
+from ..profiles.edge_profile import FunctionEdgeProfile
 from ..workloads import Workload
+from .conservation import (DEFAULT_WALK_CAP, VIRTUAL_UID, ProbePlacement,
+                           basis_flows, enumerate_walk_flows,
+                           plan_function_probes, reconstruct)
 from .diagnostics import Diagnostic, Report, Severity
+from .sampling import SAMPLE_TARGET, sample_ids
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
     from ..engine.session import ProfilingSession
@@ -64,8 +79,6 @@ DEFAULT_PATH_CAP = 50_000
 #: Cap on per-function path diagnostics so one broken init does not
 #: produce one error per path through it.
 _MAX_PATH_DIAGS = 8
-
-_SAMPLE_TARGET = 997
 
 
 class PlanVerificationError(Exception):
@@ -198,7 +211,7 @@ class _FunctionVerifier:
             self._add(Severity.INFO, "V100",
                       f"{total} live paths exceed the enumeration cap "
                       f"({self.path_cap}); sampling "
-                      f"{min(total, _SAMPLE_TARGET)} ids")
+                      f"{min(total, SAMPLE_TARGET)} ids")
             self._check_sampled(total)
         self._check_cold_safety()
         return self.diags
@@ -237,9 +250,8 @@ class _FunctionVerifier:
 
     def _check_sampled(self, total: int) -> None:
         numbering = self.numbering
-        step = max(1, total // _SAMPLE_TARGET)
         sampled: list[list[Edge]] = []
-        for n in range(0, total, step):
+        for n in sample_ids(total):
             path = numbering.decode(n)
             if path is None or numbering.number_of(path) != n:
                 self._add(Severity.ERROR, "V103",
@@ -659,6 +671,206 @@ def verify_observations(module, profilers) -> Report:
                             hint="the op's own placement contract is "
                                  "violated"))
     return report
+
+
+# ---------------------------------------------------------------------------
+# Counter inference (flow-conservation probe placements, V6xx)
+# ---------------------------------------------------------------------------
+
+#: Cap on per-function round-trip diagnostics.
+_MAX_ROUNDTRIP_DIAGS = 4
+
+
+def verify_placement(func: Function, placement: ProbePlacement,
+                     walk_cap: int = DEFAULT_WALK_CAP) -> list[Diagnostic]:
+    """Statically prove a conservation probe placement correct.
+
+    Three obligations: the reconstruction program is uniquely solvable
+    (V601 — every step solves a fresh tree edge from counts already
+    known, with unit coefficients, and no tree edge is left unsolved),
+    the cotree is a valid placement (V602 — probes and tree edges
+    partition the function's real edges and every self-loop carries a
+    probe, since conservation cancels self-loops out of their own
+    vertex's equation), and reconstruction round-trips exactly (V603) on
+    a fundamental-cycle basis of the conservation solution space plus a
+    bounded enumeration of execution-shaped entry->exit walks.
+    Reconstruction is linear, so basis exactness extends to every
+    realizable execution; the walks cross-check the proof on
+    non-negative single-activation flows directly (sampled with the
+    shared deterministic helper, noted as V604, when the space exceeds
+    ``walk_cap``).
+    """
+    cfg = func.cfg
+    fname = func.name
+    diags: list[Diagnostic] = []
+
+    def add(severity: Severity, code: str, message: str,
+            hint: str = "") -> None:
+        diags.append(Diagnostic(severity=severity, code=code,
+                                message=message, function=fname,
+                                hint=hint))
+
+    real_uids = {e.uid for e in cfg.edges()}
+
+    # V602: probes + tree must partition the real edges.
+    overlap = placement.probe_uids & placement.tree_uids
+    if overlap:
+        add(Severity.ERROR, "V602",
+            f"probe placed on spanning-tree edge(s) "
+            f"{sorted(overlap)}",
+            "a tree edge's count is inferred; probing it wastes the "
+            "counter and breaks the cotree invariant")
+    uncovered = real_uids - placement.probe_uids - placement.tree_uids
+    if uncovered:
+        add(Severity.ERROR, "V602",
+            f"edge(s) {sorted(uncovered)} neither probed nor on the "
+            f"spanning tree",
+            "every real edge must be a probe or inferred from the "
+            "conservation equations")
+    phantom = (placement.probe_uids | placement.tree_uids) - real_uids
+    if phantom:
+        add(Severity.ERROR, "V602",
+            f"placement references non-CFG edge uid(s) "
+            f"{sorted(phantom)}")
+    self_loops = {e.uid for e in cfg.edges() if e.src == e.dst}
+    loose_loops = self_loops - placement.probe_uids
+    if loose_loops:
+        add(Severity.ERROR, "V602",
+            f"self-loop edge(s) {sorted(loose_loops)} carry no probe",
+            "a self-loop cancels out of its vertex's conservation "
+            "equation and can never be inferred")
+
+    # V601: the step program must be uniquely solvable in order.
+    known = set(placement.probe_uids) | {VIRTUAL_UID}
+    pending = set(placement.tree_uids)
+    for i, step in enumerate(placement.steps):
+        if step.uid not in pending:
+            add(Severity.ERROR, "V601",
+                f"step {i} solves uid {step.uid}, which is not an "
+                f"unsolved tree edge")
+            break
+        bad_term = next((t for t, _c in step.terms if t not in known),
+                        None)
+        if bad_term is not None:
+            add(Severity.ERROR, "V601",
+                f"step {i} (edge uid {step.uid} at {step.vertex}) "
+                f"references count {bad_term} before it is known",
+                "steps may only read probes, the invocation count, or "
+                "earlier steps' results")
+            break
+        bad_coeff = next((c for _t, c in step.terms if c not in (-1, 1)),
+                         None)
+        if bad_coeff is not None:
+            add(Severity.ERROR, "V601",
+                f"step {i} carries non-unit coefficient {bad_coeff}",
+                "conservation equations have +/-1 coefficients only")
+            break
+        pending.discard(step.uid)
+        known.add(step.uid)
+    else:
+        if pending:
+            add(Severity.ERROR, "V601",
+                f"tree edge(s) {sorted(pending)} are never solved",
+                "the equation system does not determine every count")
+
+    if any(d.severity == Severity.ERROR for d in diags):
+        return diags  # round-trips are meaningless on a broken placement
+
+    # V603: exact round-trip on the basis flows and enumerated walks.
+    flows = basis_flows(cfg, placement)
+    walks, exhausted = enumerate_walk_flows(cfg, max_walks=walk_cap)
+    if not exhausted:
+        add(Severity.INFO, "V604",
+            f"walk space exceeds the enumeration cap ({walk_cap}); "
+            f"round-trip checked on the basis plus sampled walks")
+    flows.extend((1, walks[i]) for i in sample_ids(len(walks)))
+    mismatches = 0
+    for entry_count, vec in flows:
+        probe_counts = {uid: vec.get(uid, 0)
+                        for uid in placement.probe_uids}
+        recon = reconstruct(placement, probe_counts, entry_count,
+                            keep_zeros=True)
+        for uid in sorted(real_uids):
+            if recon.get(uid, 0) != vec.get(uid, 0):
+                mismatches += 1
+                if mismatches <= _MAX_ROUNDTRIP_DIAGS:
+                    add(Severity.ERROR, "V603",
+                        f"reconstruction round-trip fails on edge uid "
+                        f"{uid}: expected {vec.get(uid, 0)}, "
+                        f"reconstructed {recon.get(uid, 0)} "
+                        f"(flow with N={entry_count})",
+                        "a reconstruction coefficient is wrong; the "
+                        "inferred profile would be silently corrupt")
+    if mismatches > _MAX_ROUNDTRIP_DIAGS:
+        add(Severity.INFO, "V699",
+            f"{mismatches - _MAX_ROUNDTRIP_DIAGS} further round-trip "
+            f"mismatches suppressed")
+    return diags
+
+
+def verify_conservation_function(func: Function,
+                                 profile: Optional[FunctionEdgeProfile]
+                                 = None,
+                                 walk_cap: int = DEFAULT_WALK_CAP
+                                 ) -> list[Diagnostic]:
+    """Plan a probe placement for ``func`` and prove it (V600-V604)."""
+    placement = plan_function_probes(func, profile)
+    diags = verify_placement(func, placement, walk_cap)
+    weighted = "measured" if profile is not None else "static"
+    diags.insert(0, Diagnostic(
+        severity=Severity.INFO, code="V600",
+        message=f"{placement.num_edges} edges, {placement.num_probes} "
+                f"probes ({weighted} weights): "
+                f"{placement.dropped_fraction:.0%} of edge counters "
+                f"proven redundant",
+        function=func.name))
+    return diags
+
+
+def verify_conservation(module: Module,
+                        profiles: Optional[dict[str, FunctionEdgeProfile]]
+                        = None,
+                        walk_cap: int = DEFAULT_WALK_CAP) -> Report:
+    """Prove a conservation probe placement for every function."""
+    report = Report(title=f"conserve {module.name}")
+    for name, func in module.functions.items():
+        profile = profiles.get(name) if profiles else None
+        report.extend(verify_conservation_function(func, profile,
+                                                   walk_cap))
+    return report
+
+
+def conserve_suite(session: "ProfilingSession",
+                   workloads: Optional[list[Workload]] = None,
+                   scale: int = 1,
+                   walk_cap: int = DEFAULT_WALK_CAP) -> list[Report]:
+    """Prove conservation placements for every workload in the suite.
+
+    Placements are weighted by each workload's measured ground-truth
+    edge profile (the PPP setting); modules and traces come through the
+    session, and the proof reports themselves are cached under the
+    module fingerprint.
+    """
+    from ..engine.fingerprint import fingerprint_module, fingerprint_text
+    from ..workloads import SUITE
+
+    chosen = list(workloads) if workloads is not None else list(SUITE)
+    reports: list[Report] = []
+    for workload in chosen:
+        module = session.expand(workload, scale).module
+        _actual, edge_profile, _rv = session.trace(module)
+        key = fingerprint_text("conserve-report",
+                               fingerprint_module(module), str(walk_cap))
+        profiles = edge_profile.functions
+
+        def compute() -> Report:
+            return verify_conservation(module, profiles, walk_cap)
+
+        report = session.cache.get_or_compute("conservereport", key,
+                                              compute)
+        report.title = workload.name
+        reports.append(report)
+    return reports
 
 
 def verify_suite(session: "ProfilingSession",

@@ -35,7 +35,10 @@ from ..profiles.serialize import edge_profile_to_dict
 #    disk envelope v2 embeds this schema version.
 # 7: tiered codegen -- execution-stage keys carry the session's layout
 #    selection (tier-2 layout fingerprints); new "layout" stage kind.
-CACHE_SCHEMA_VERSION = 7
+# 8: sparse edge probing -- conservation placements change edge-count
+#    codegen (the edges-sparse profiler reconstructs dense counts from
+#    cotree probes); new "conservereport" stage kind.
+CACHE_SCHEMA_VERSION = 8
 
 _SEP = "\x1f"  # unit separator: cannot appear in the joined parts
 

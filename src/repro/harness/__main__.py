@@ -72,6 +72,10 @@ def main(argv: list[str] | None = None) -> int:
                              "fused into every instrumented run (see "
                              "'python -m repro profilers'); their results "
                              "ride on each workload's record")
+    parser.add_argument("--sparse-edges", action="store_true",
+                        help="count edges only on flow-conservation "
+                             "probes (the edges-sparse profiler rides on "
+                             "every run and reconstructs full profiles)")
     parser.add_argument("--verify", action="store_true",
                         help="statically verify every instrumentation "
                              "plan before running it (or set "
@@ -134,11 +138,14 @@ def main(argv: list[str] | None = None) -> int:
         faults.install_plan(plan)
 
     from ..profilers import parse_profiler_names
+    profiler_names = parse_profiler_names(args.profilers)
+    if args.sparse_edges and "edges-sparse" not in profiler_names:
+        profiler_names += ("edges-sparse",)
     session = build_session(jobs=args.jobs, no_cache=args.no_cache,
                             cache_dir=args.cache_dir, backend=args.backend,
                             verify=True if args.verify else None,
                             timeout=args.timeout, retries=args.retries,
-                            profilers=parse_profiler_names(args.profilers),
+                            profilers=profiler_names,
                             profile_guided=args.tier2)
 
     start = time.time()

@@ -96,6 +96,11 @@ class ModeSpec:
     listener: bool = False
     # (block, target) keys of edges that have a hook attached.
     hook_edges: frozenset = frozenset()
+    # Sparse edge counting: when not None, only these (block, target)
+    # keys get a counter increment; the rest are statically proven
+    # recoverable by flow-conservation reconstruction
+    # (:mod:`repro.analysis.conservation`).  None means dense counting.
+    probes: Optional[frozenset] = None
 
 
 @dataclass
@@ -358,7 +363,7 @@ class _FunctionEmitter:
         """The fused block-exit work for traversing one CFG edge, in the
         tuple interpreter's order: profile count, hook, tracer."""
         spec, w = self.spec, self.w
-        if spec.profile:
+        if spec.profile and (spec.probes is None or key in spec.probes):
             w(indent, f"_ec[{self.edge_index[key]}] += 1")
         if key in self.hook_order:
             # Hooks observe frame.regs: a localized segment must be

@@ -132,7 +132,7 @@ class _CompiledFunction:
 
     __slots__ = ("func", "blocks", "entry", "exit", "param_slots",
                  "num_slots", "array_sizes", "edge_uid", "uid_edge",
-                 "is_back", "hooks", "hooks_version")
+                 "is_back", "hooks", "hooks_version", "probe_keys")
 
     def __init__(self, func: Function, module: Module):
         if not func.sealed:
@@ -166,6 +166,12 @@ class _CompiledFunction:
         # Bumped on every hook mutation; the compiled backend fuses hooks
         # into generated code, so a version change forces regeneration.
         self.hooks_version = 0
+        # Sparse edge counting: the (block, target) keys that carry a
+        # counter, or None for dense (count every edge).  Set by the
+        # Machine from its ``edge_probes`` map; the unprobed counts are
+        # recovered by flow-conservation reconstruction
+        # (:mod:`repro.analysis.conservation`).
+        self.probe_keys: Optional[frozenset] = None
 
     def _compile(self, instr, slots: dict[str, int], func: Function,
                  module: Module) -> tuple:
@@ -261,6 +267,14 @@ class Machine:
         fallback) -- tier-2 codegen failures demote that function to
         tier 1, and tier-1 failures degrade it to the tuple loop, so a
         bad layout can never take a run down.
+    edge_probes:
+        Optional ``{func name: frozenset of (block, target)}`` sparse
+        counter placement from :mod:`repro.analysis.conservation`: with
+        ``collect_edge_profile`` on, only the listed edges are counted
+        (in both backends and all tiers); every other count is provably
+        recoverable by flow-conservation reconstruction plus the
+        always-on invocation counter.  ``None`` (or a missing function)
+        means dense counting for that function.
     """
 
     def __init__(self, module: Module, collect_edge_profile: bool = False,
@@ -271,7 +285,8 @@ class Machine:
                      Callable[[str, tuple[str, ...]], None]] = None,
                  backend: Optional[str] = None,
                  validate_codegen: Optional[bool] = None,
-                 layouts: Optional[dict] = None):
+                 layouts: Optional[dict] = None,
+                 edge_probes: Optional[dict] = None):
         self.module = module
         self.backend = resolve_backend(backend)
         if validate_codegen is None:
@@ -296,9 +311,15 @@ class Machine:
         self.cost_model = cost_model
         self.max_instructions = max_instructions
         self.costs = CostCounter()
+        # func name -> frozenset of probed (block, target) keys; None is
+        # dense counting everywhere (see the class docstring).
+        self.edge_probes: Optional[dict] = edge_probes
         self.compiled: dict[str, _CompiledFunction] = {}
         for name, func in module.functions.items():
-            self.compiled[name] = _CompiledFunction(func, module)
+            cf = _CompiledFunction(func, module)
+            if edge_probes is not None and name in edge_probes:
+                cf.probe_keys = frozenset(edge_probes[name])
+            self.compiled[name] = cf
         self.global_scalars: dict[str, object] = dict(module.global_scalars)
         self.global_arrays: dict[str, list] = {
             name: [0] * size for name, size in module.global_arrays.items()}
@@ -479,7 +500,7 @@ class Machine:
                 continue  # call or return switched frames
             # --- edge traversal: profile, hooks, tracer -----------------
             key = (frame.block, transfer)
-            if profile:
+            if profile and (cf.probe_keys is None or key in cf.probe_keys):
                 uid = cf.edge_uid[key]
                 ec = edge_counts[cf.func.name]
                 ec[uid] = ec.get(uid, 0) + 1

@@ -5,6 +5,7 @@ from conftest import SMALL_PROGRAM
 
 from repro.analysis import Severity, lint_function, lint_module
 from repro.analysis.lint import (check_constant_branches, check_dead_stores,
+                                 check_duplicate_targets,
                                  check_shadowed_names,
                                  check_unreachable_blocks,
                                  check_use_before_def)
@@ -276,6 +277,76 @@ def test_at_sign_blocks_auto_tagged_by_rebuild():
         "A")
     assert rebuilt.is_synthetic("b@sb1")
     assert not rebuilt.is_synthetic("A")
+
+
+# ----------------------------------------------------------------------
+# L006: duplicate branch targets
+# ----------------------------------------------------------------------
+
+def _diamond_function():
+    b = IRBuilder("f", params=["p"])
+    b.block("A")
+    b.branch("p", "B", "C")
+    b.block("B")
+    b.jump("D")
+    b.block("C")
+    b.jump("D")
+    b.block("D")
+    b.ret("p")
+    return b.finish("A")
+
+
+def _coinciding_branch():
+    # Branch("p", "X", "X") is rejected at construction and
+    # IRBuilder.branch normalises coinciding arms to a Jump, so the
+    # bundle can only arise from a corrupted pass: model one by
+    # retargeting a sealed terminator and its edge.
+    func = _diamond_function()
+    func.cfg.blocks["A"].instructions[-1].else_target = "B"
+    func.cfg.remove_edge(func.cfg.edge("A", "C"))
+    func.cfg.add_edge("A", "B")
+    return func
+
+
+def _parallel_jump_edges():
+    func = _diamond_function()
+    func.cfg.add_edge("B", "D")
+    return func
+
+
+def test_coinciding_branch_arms_flagged():
+    diags = check_duplicate_targets(_coinciding_branch())
+    assert _codes(diags) == ["L006"]
+    assert diags[0].block == "A"
+    assert "branch arms coincide" in diags[0].message
+    # The hint names the hazard: (block, target)-keyed edge events
+    # cannot tell the bundle members apart.
+    assert "(block, target)" in diags[0].hint
+
+
+def test_parallel_edges_flagged():
+    diags = check_duplicate_targets(_parallel_jump_edges())
+    assert _codes(diags) == ["L006"]
+    assert diags[0].block == "B"
+    assert "2 parallel edges reach" in diags[0].message
+
+
+def test_distinct_branch_targets_clean():
+    b = IRBuilder("f", params=["p"])
+    b.block("A")
+    b.branch("p", "B", "C")
+    b.block("B")
+    b.jump("D")
+    b.block("C")
+    b.jump("D")
+    b.block("D")
+    b.ret("p")
+    assert check_duplicate_targets(b.finish("A")) == []
+
+
+def test_duplicate_targets_in_lint_function():
+    diags = lint_function(_coinciding_branch())
+    assert "L006" in _codes(diags)
 
 
 # ----------------------------------------------------------------------
