@@ -47,9 +47,23 @@ Subcommands
     prove it uniquely solvable with an exact round-trip — i.e. that the
     non-probe edge counters are redundant and safe to delete.  Exits
     nonzero when any placement fails its proof.
+``match [OLD NEW | --suite]``
+    Stale-profile matching: anchor-match two MiniC files' IR modules,
+    transfer the old file's ground-truth edge profile onto the new
+    module repaired to exact flow conservation, and report per-function
+    block/edge coverage plus the count mass retained.  ``--suite``
+    instead proves the V7xx match/transfer checks (self-match identity,
+    conservation, coverage) over every suite workload.
+``profiles {diff,merge} FILE ...``
+    Operate on saved edge profiles against FILE's module: ``diff``
+    classifies every CFG edge of two profiles by flow-share shift;
+    ``merge`` folds several runs' profiles into one (and can embed a
+    matching sketch for later staleness recovery).  Stale inputs with
+    an embedded sketch are remapped instead of rejected.
 
-``verify``, ``lint``, ``equiv``, and ``conserve`` accept ``--json`` for
-a structured report (one JSON document on stdout) that CI can diff.
+``verify``, ``lint``, ``equiv``, ``conserve``, ``match``, and
+``profiles`` accept ``--json`` for a structured report (one JSON
+document on stdout) that CI can diff.
 
 Examples::
 
@@ -65,6 +79,9 @@ Examples::
     python -m repro equiv --suite --json
     python -m repro conserve --suite
     python -m repro run program.minic --sparse-edges
+    python -m repro match old.minic new.minic
+    python -m repro profiles diff program.minic before.json after.json
+    python -m repro profiles merge program.minic run*.json -o merged.json
 """
 
 from __future__ import annotations
@@ -78,7 +95,7 @@ from .core import (build_estimated_profile, evaluate_accuracy,
 from .harness import ground_truth
 from .interp import run_module
 from .lang import compile_source
-from .profiles import load_edge_profile, save_edge_profile
+from .profiles import save_edge_profile
 
 
 class CliError(Exception):
@@ -137,17 +154,33 @@ def cmd_run(args) -> int:
 
 
 def cmd_profile(args) -> int:
+    import json
+
+    from .profiles import edge_profile_from_dict_or_remap
+
     module = _load(args.file)
     actual, fresh_profile, _rv = ground_truth(module, backend=args.backend)
     if args.edge_profile:
         with open(args.edge_profile) as handle:
-            edge_profile = load_edge_profile(handle, module)
-        print(f"using saved edge profile: {args.edge_profile}")
+            data = json.load(handle)
+        try:
+            edge_profile, match = edge_profile_from_dict_or_remap(data,
+                                                                  module)
+        except ValueError as exc:
+            raise CliError(f"{args.edge_profile}: {exc}") from exc
+        if match is None:
+            print(f"using saved edge profile: {args.edge_profile}")
+        else:
+            matched = sum(len(fm.blocks) for fm in match.functions)
+            total = sum(fm.old_blocks for fm in match.functions)
+            print(f"using saved edge profile: {args.edge_profile} "
+                  f"(stale; remapped {matched}/{total} blocks via "
+                  f"sketch matching)")
     else:
         edge_profile = fresh_profile
     if args.save_edge_profile:
         with open(args.save_edge_profile, "w") as handle:
-            save_edge_profile(fresh_profile, handle)
+            save_edge_profile(fresh_profile, handle, embed_sketch=True)
         print(f"saved edge profile to {args.save_edge_profile}")
 
     extra = _parse_profilers(getattr(args, "profilers", ""))
@@ -563,6 +596,169 @@ def cmd_conserve(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_match(args) -> int:
+    import time
+
+    from .analysis import Severity
+
+    start = time.time()
+    if args.suite or args.benchmarks:
+        from .analysis import match_suite
+
+        session = _suite_session(args.cache_dir, args)
+        reports = match_suite(session, _chosen_workloads(args.benchmarks))
+        failed = sum(1 for report in reports if not report.ok)
+        if args.json:
+            import json
+            print(json.dumps({
+                "command": "match", "ok": not failed,
+                "checks": len(reports), "failed": failed,
+                "elapsed_s": round(time.time() - start, 3),
+                "reports": [r.to_dict() for r in reports],
+            }, indent=2, sort_keys=True))
+            return 1 if failed else 0
+        for report in reports:
+            for diag in report:
+                if diag.severity >= Severity.WARNING or args.verbose:
+                    print(f"{report.title}: {diag.format()}")
+            if not args.quiet:
+                status = "FAIL" if not report.ok else "ok"
+                print(f"[{status}] {report.summary()}")
+        checks = len(reports)
+        print(f"match: {checks} check{'s' if checks != 1 else ''}: "
+              f"{checks - failed} ok, {failed} failed "
+              f"({time.time() - start:.1f}s)")
+        return 1 if failed else 0
+
+    if not (args.old and args.new):
+        raise CliError("match needs OLD and NEW files, or --suite")
+    from .analysis import verify_match, verify_transfer
+    from .analysis.match import match_modules
+    from .analysis.transfer import remap_edge_profile
+
+    old_module = _load(args.old)
+    new_module = _load(args.new)
+    match = match_modules(old_module, new_module)
+    _actual, edge_profile, _rv = ground_truth(old_module,
+                                              backend=args.backend)
+    result = remap_edge_profile(edge_profile, new_module, match=match)
+    report_m = verify_match(old_module, new_module, match)
+    report_t = verify_transfer(result, old_profile=edge_profile)
+    ok = report_m.ok and report_t.ok
+
+    if args.json:
+        import json
+        print(json.dumps({
+            "command": "match", "ok": ok,
+            "old": args.old, "new": args.new,
+            "identical": match.identical,
+            "retained": result.stats.retained,
+            "match": match.to_dict(),
+            "reports": [report_m.to_dict(), report_t.to_dict()],
+            "elapsed_s": round(time.time() - start, 3),
+        }, indent=2, sort_keys=True))
+        return 0 if ok else 1
+
+    print(f"match {args.old} -> {args.new}"
+          f"{'  (identical modules)' if match.identical else ''}")
+    for fm in match.functions:
+        arrow = fm.old if fm.old == fm.new else f"{fm.old} -> {fm.new}"
+        print(f"  {arrow}: {len(fm.blocks)}/{fm.old_blocks} blocks, "
+              f"{len(fm.edges)}/{fm.old_edges} edges "
+              f"(min confidence {fm.min_confidence:.2f})")
+        if args.verbose:
+            for bm in fm.blocks:
+                print(f"    {bm.old} -> {bm.new}  [{bm.anchor} "
+                      f"{bm.confidence:.2f}]")
+    unmatched = [name for name in sorted(old_module.functions)
+                 if match.for_old(name) is None]
+    if unmatched:
+        print(f"  unmatched old functions: {', '.join(unmatched)}")
+    print(f"transferred edge counts: "
+          f"{result.stats.mapped_total}/{result.stats.old_total} "
+          f"({result.stats.retained * 100:.1f}% retained, "
+          f"repaired to exact conservation)")
+    for report in (report_m, report_t):
+        for diag in report:
+            if diag.severity >= Severity.WARNING or args.verbose:
+                print(diag.format())
+    print(f"[{'ok' if ok else 'FAIL'}] verified match and transfer "
+          f"({time.time() - start:.1f}s)")
+    return 0 if ok else 1
+
+
+def cmd_profiles(args) -> int:
+    import json
+
+    from .profiles import (diff_edge_profiles,
+                           edge_profile_from_dict_or_remap,
+                           format_edge_diff)
+
+    module = _load(args.file)
+
+    def load(path: str):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except OSError as exc:
+            raise CliError(f"cannot read {path}: {exc.strerror}") from exc
+        except json.JSONDecodeError as exc:
+            raise CliError(f"{path}: {exc}") from exc
+        try:
+            profile, match = edge_profile_from_dict_or_remap(data, module)
+        except ValueError as exc:
+            raise CliError(f"{path}: {exc}") from exc
+        if match is not None and not args.json:
+            print(f"note: {path} was stale; remapped via sketch matching")
+        return profile, match
+
+    if args.action == "diff":
+        if len(args.profiles) != 2:
+            raise CliError("profiles diff needs exactly two profiles")
+        before, _m0 = load(args.profiles[0])
+        after, _m1 = load(args.profiles[1])
+        diff = diff_edge_profiles(before, after,
+                                  threshold=args.threshold)
+        if args.json:
+            print(json.dumps(dict(diff.to_dict(), command="profiles-diff",
+                                  before=args.profiles[0],
+                                  after=args.profiles[1]),
+                             indent=2, sort_keys=True))
+        else:
+            print(format_edge_diff(diff, limit=args.top))
+        return 0
+
+    # merge
+    if not args.profiles:
+        raise CliError("profiles merge needs at least one profile")
+    merged = None
+    remapped = 0
+    for path in args.profiles:
+        profile, match = load(path)
+        remapped += 1 if match is not None else 0
+        merged = profile if merged is None else merged.merge(profile)
+    out = {"merged": len(args.profiles), "remapped": remapped,
+           "invocations": {name: fp.entry_count
+                           for name, fp in merged.functions.items()
+                           if fp.entry_count}}
+    if args.output:
+        with open(args.output, "w") as handle:
+            save_edge_profile(merged, handle,
+                              embed_sketch=args.embed_sketch)
+        out["output"] = args.output
+    if args.json:
+        print(json.dumps(dict(out, command="profiles-merge"), indent=2,
+                         sort_keys=True))
+    else:
+        suffix = f" ({remapped} remapped)" if remapped else ""
+        print(f"merged {out['merged']} profiles{suffix}")
+        for name, count in sorted(out["invocations"].items()):
+            print(f"  {name}: {count} invocations")
+        if args.output:
+            print(f"wrote {args.output}")
+    return 0
+
+
 def _add_fault_options(parser: argparse.ArgumentParser) -> None:
     """The fault-tolerance knobs shared by the suite-driving commands."""
     parser.add_argument("--timeout", type=float, default=None,
@@ -744,6 +940,54 @@ def build_parser() -> argparse.ArgumentParser:
                         help="only print failures and the final line")
     _add_fault_options(p_cons)
     p_cons.set_defaults(fn=cmd_conserve)
+
+    p_match = sub.add_parser(
+        "match",
+        help="stale-profile matching between two modules")
+    p_match.add_argument("old", nargs="?",
+                         help="the MiniC file a profile was collected on")
+    p_match.add_argument("new", nargs="?",
+                         help="the edited MiniC file to transfer onto")
+    p_match.add_argument("--suite", action="store_true",
+                         help="prove the V7xx match/transfer checks over "
+                              "every suite workload")
+    p_match.add_argument("--benchmarks", default="",
+                         help="comma-separated benchmark subset")
+    p_match.add_argument("--backend", **backend_kwargs)
+    p_match.add_argument("--cache-dir", default="results/.cache",
+                         help="artifact cache directory for --suite "
+                              "(empty = memory only)")
+    p_match.add_argument("--json", action="store_true",
+                         help="emit one structured JSON report on stdout")
+    p_match.add_argument("--verbose", action="store_true",
+                         help="also print per-block anchors and "
+                              "informational findings")
+    p_match.add_argument("--quiet", action="store_true",
+                         help="only print failures and the final line")
+    _add_fault_options(p_match)
+    p_match.set_defaults(fn=cmd_match)
+
+    p_profiles = sub.add_parser(
+        "profiles", help="diff or merge saved edge profiles")
+    p_profiles.add_argument("action", choices=("diff", "merge"))
+    p_profiles.add_argument("file",
+                            help="the MiniC file the profiles describe")
+    p_profiles.add_argument("profiles", nargs="*",
+                            help="saved edge-profile JSON files")
+    p_profiles.add_argument("--threshold", type=float, default=0.001,
+                            help="minimum flow-share shift to report "
+                                 "(diff; default 0.001)")
+    p_profiles.add_argument("--top", type=int, default=10,
+                            help="how many edge movers to print (diff)")
+    p_profiles.add_argument("-o", "--output", metavar="OUT",
+                            help="write the merged profile here (merge)")
+    p_profiles.add_argument("--embed-sketch", action="store_true",
+                            help="embed a matching sketch in the merged "
+                                 "profile for later staleness recovery")
+    p_profiles.add_argument("--json", action="store_true",
+                            help="emit one structured JSON report on "
+                                 "stdout")
+    p_profiles.set_defaults(fn=cmd_profiles)
     return parser
 
 

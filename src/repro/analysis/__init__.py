@@ -20,7 +20,13 @@ Three layers, all reporting structured :class:`Diagnostic` records:
 * :mod:`repro.analysis.conservation` — flow-conservation counter
   inference: spanning-tree probe placements, the reconstruction solver,
   and the V6xx proof pass in :mod:`repro.analysis.verify` that certifies
-  a placement's unique solvability and exact round-trip.
+  a placement's unique solvability and exact round-trip;
+* :mod:`repro.analysis.match` / :mod:`repro.analysis.transfer` —
+  stale-profile matching: deterministic anchor matching between two IR
+  modules (content hashes, call/const anchors, neighbourhood hashing),
+  profile transfer across the match repaired to exact flow
+  conservation, and the V7xx proof pass in :mod:`repro.analysis.verify`
+  that certifies match soundness and transfer exactness.
 """
 
 from .conservation import (ConservationError, ProbePlacement, ReconStep,
@@ -39,17 +45,29 @@ from .equiv import (PASS_NAMES, CodegenValidationError, ExploreLimits,
                     check_profiler_codegen, equiv_module, equiv_suite,
                     standard_modes)
 from .lint import lint_function, lint_module
-from .mutate import (CODEGEN_MUTATIONS, CONSERVATION_MUTATIONS, MUTATIONS,
-                     PASS_MUTATIONS, applicable_mutations, mutate_module,
-                     mutate_placement, mutate_plan, mutate_source)
+from .match import (BlockMatch, BlockSketch, EdgeMatch, FunctionMatch,
+                    FunctionSketch, ModuleMatch, ModuleSketch,
+                    clear_match_memo, match_function_sketches,
+                    match_modules, match_sketches, sketch_from_dict,
+                    sketch_function, sketch_module, sketch_to_dict)
+from .mutate import (CODEGEN_MUTATIONS, CONSERVATION_MUTATIONS,
+                     MATCH_MUTATIONS, MUTATIONS, PASS_MUTATIONS,
+                     applicable_mutations, mutate_module,
+                     mutate_placement, mutate_plan, mutate_source,
+                     mutate_transfer)
 from .sampling import SAMPLE_TARGET, sample_ids, sample_stride
 from .symexec import (IRSymbolicExecutor, SymState, Term, TermFactory,
                       format_term, ops_equal)
+from .transfer import (FunctionTransfer, TransferResult, TransferStats,
+                       conservation_violations, remap_edge_profile,
+                       transfer_edge_profile, transfer_function_counts,
+                       transfer_path_profile)
 from .verify import (DEFAULT_PATH_CAP, PlanVerificationError,
-                     conserve_suite, verify_conservation,
+                     conserve_suite, match_suite, verify_conservation,
                      verify_conservation_function, verify_function_plan,
-                     verify_module_plan, verify_observations,
-                     verify_placement, verify_suite)
+                     verify_match, verify_module_plan,
+                     verify_observations, verify_placement,
+                     verify_suite, verify_transfer)
 
 __all__ = [
     "ConservationError", "ProbePlacement", "ReconStep", "VIRTUAL_UID",
@@ -65,14 +83,25 @@ __all__ = [
     "check_pass", "check_profiler_codegen", "equiv_module", "equiv_suite",
     "standard_modes",
     "lint_function", "lint_module",
-    "CODEGEN_MUTATIONS", "CONSERVATION_MUTATIONS", "MUTATIONS",
-    "PASS_MUTATIONS", "applicable_mutations", "mutate_module",
-    "mutate_placement", "mutate_plan", "mutate_source",
+    "BlockMatch", "BlockSketch", "EdgeMatch", "FunctionMatch",
+    "FunctionSketch", "ModuleMatch", "ModuleSketch", "clear_match_memo",
+    "match_function_sketches", "match_modules", "match_sketches",
+    "sketch_from_dict", "sketch_function", "sketch_module",
+    "sketch_to_dict",
+    "CODEGEN_MUTATIONS", "CONSERVATION_MUTATIONS", "MATCH_MUTATIONS",
+    "MUTATIONS", "PASS_MUTATIONS", "applicable_mutations",
+    "mutate_module", "mutate_placement", "mutate_plan", "mutate_source",
+    "mutate_transfer",
     "SAMPLE_TARGET", "sample_ids", "sample_stride",
     "IRSymbolicExecutor", "SymState", "Term", "TermFactory",
     "format_term", "ops_equal",
+    "FunctionTransfer", "TransferResult", "TransferStats",
+    "conservation_violations", "remap_edge_profile",
+    "transfer_edge_profile", "transfer_function_counts",
+    "transfer_path_profile",
     "DEFAULT_PATH_CAP", "PlanVerificationError", "conserve_suite",
-    "verify_conservation", "verify_conservation_function",
-    "verify_function_plan", "verify_module_plan", "verify_observations",
-    "verify_placement", "verify_suite",
+    "match_suite", "verify_conservation",
+    "verify_conservation_function", "verify_function_plan",
+    "verify_match", "verify_module_plan", "verify_observations",
+    "verify_placement", "verify_suite", "verify_transfer",
 ]

@@ -1,6 +1,6 @@
 """Seeded corruptions, for verifier and equivalence-checker testing.
 
-Four families, all deterministic (the first applicable site wins) and
+Five families, all deterministic (the first applicable site wins) and
 all applied to copies — never to the caller's object:
 
 * **plan mutations** (:func:`mutate_plan`) corrupt a
@@ -22,7 +22,14 @@ all applied to copies — never to the caller's object:
   counter-inference bug would (probe on a tree edge, dropped cotree
   probe, wrong reconstruction coefficient);
   :func:`repro.analysis.verify.verify_placement` must flag every one
-  while passing the pristine placement.
+  while passing the pristine placement;
+* **match mutations** (:func:`mutate_transfer`) corrupt a
+  :class:`~repro.analysis.transfer.TransferResult` the way a
+  stale-profile matching bug would (crossed or non-injective block
+  matches, an edge match off the block map, an unrepaired or
+  mis-scaled transfer, a drifted invocation count); the ``V7xx``
+  checks in :mod:`repro.analysis.verify` must flag every one while
+  passing the pristine transfer.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from __future__ import annotations
 import copy
 import dataclasses
 import re
-from typing import Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
 from ..core.ops import AddReg, CountConst, CountReg, InstrOp, SetReg
 from .conservation import VIRTUAL_UID, ProbePlacement
@@ -39,6 +46,10 @@ from ..ir.function import Function, Module
 from ..ir.instructions import (BinOp, Branch, Call, Const, GlobalStore,
                                Instr, Jump, Load, Mov, Ret, Select,
                                Store, UnOp)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from .match import FunctionMatch
+    from .transfer import TransferResult
 
 
 def _op_sites(fplan: FunctionPlan
@@ -556,5 +567,172 @@ def mutate_module(module: Module, kind: str) -> Optional[Module]:
                          f"choose from {', '.join(PASS_MUTATIONS)}")
     mutated = copy.deepcopy(module)
     if not _PASS_MUTATORS[kind](mutated):
+        return None
+    return mutated
+
+
+# ----------------------------------------------------------------------
+# Match mutations: corrupting a stale-profile transfer
+# ----------------------------------------------------------------------
+
+def _function_matches(result: "TransferResult"
+                      ) -> Iterator[tuple[int, "FunctionMatch"]]:
+    for index, fm in enumerate(result.match.functions):
+        yield index, fm
+
+
+def _swap_function_match(result: "TransferResult", index: int,
+                         fm: "FunctionMatch") -> None:
+    functions = list(result.match.functions)
+    functions[index] = fm
+    result.match = dataclasses.replace(result.match,
+                                       functions=tuple(functions))
+
+
+def _match_cross_block(result: "TransferResult") -> bool:
+    """Swap two block matches' targets (an edge match goes inconsistent)."""
+    for index, fm in _function_matches(result):
+        if not fm.edges or len(fm.blocks) < 2:
+            continue
+        anchor = fm.edges[0].old[0]
+        blocks = list(fm.blocks)
+        first = next(i for i, bm in enumerate(blocks)
+                     if bm.old == anchor)
+        second = next(i for i in range(len(blocks)) if i != first)
+        a, b = blocks[first], blocks[second]
+        blocks[first] = dataclasses.replace(a, new=b.new)
+        blocks[second] = dataclasses.replace(b, new=a.new)
+        _swap_function_match(result, index,
+                             dataclasses.replace(fm,
+                                                 blocks=tuple(blocks)))
+        return True
+    return False
+
+
+def _match_noninjective(result: "TransferResult") -> bool:
+    """Point two old blocks at the same new block."""
+    for index, fm in _function_matches(result):
+        if len(fm.blocks) < 2:
+            continue
+        blocks = list(fm.blocks)
+        blocks[1] = dataclasses.replace(blocks[1], new=blocks[0].new)
+        _swap_function_match(result, index,
+                             dataclasses.replace(fm,
+                                                 blocks=tuple(blocks)))
+        return True
+    return False
+
+
+def _match_phantom_block(result: "TransferResult") -> bool:
+    """Point a block match at a block that does not exist."""
+    for index, fm in _function_matches(result):
+        if not fm.blocks:
+            continue
+        blocks = list(fm.blocks)
+        blocks[0] = dataclasses.replace(blocks[0],
+                                        new="<phantom-block>")
+        _swap_function_match(result, index,
+                             dataclasses.replace(fm,
+                                                 blocks=tuple(blocks)))
+        return True
+    return False
+
+
+def _match_cross_edge(result: "TransferResult") -> bool:
+    """Swap two edge matches' targets (the block map disagrees)."""
+    for index, fm in _function_matches(result):
+        distinct = [i for i in range(1, len(fm.edges))
+                    if fm.edges[i].new != fm.edges[0].new]
+        if not fm.edges or not distinct:
+            continue
+        other = distinct[0]
+        edges = list(fm.edges)
+        a, b = edges[0], edges[other]
+        edges[0] = dataclasses.replace(a, new=b.new)
+        edges[other] = dataclasses.replace(b, new=a.new)
+        _swap_function_match(result, index,
+                             dataclasses.replace(fm,
+                                                 edges=tuple(edges)))
+        return True
+    return False
+
+
+def _match_drop_repair(result: "TransferResult") -> bool:
+    """Perturb one transferred count as an unrepaired transfer would.
+
+    A self-loop edge cancels out of its own vertex's conservation
+    equation, so the perturbation targets a non-self-loop edge, where
+    the residual is guaranteed to show.
+    """
+    for name in sorted(result.profile.functions):
+        fprofile = result.profile.functions[name]
+        for edge in sorted(fprofile.func.cfg.edges(),
+                           key=lambda e: e.uid):
+            if edge.src == edge.dst:
+                continue
+            fprofile.edge_freq[edge.uid] = \
+                fprofile.edge_freq.get(edge.uid, 0) + 1
+            fprofile._block_freq = None
+            return True
+    return False
+
+
+def _match_misscale(result: "TransferResult") -> bool:
+    """Double every edge count but not N (a scaling bug).
+
+    Needs an executed function whose entry differs from its exit:
+    scaling a pure circulation (or an entry==exit function, where N
+    cancels out of its own equation) stays conserved and genuinely
+    satisfies every V7xx obligation.
+    """
+    for name in sorted(result.profile.functions):
+        fprofile = result.profile.functions[name]
+        cfg = fprofile.func.cfg
+        if fprofile.entry_count <= 0 or cfg.entry == cfg.exit:
+            continue
+        fprofile.edge_freq = {uid: 2 * count for uid, count
+                              in fprofile.edge_freq.items()}
+        fprofile._block_freq = None
+        return True
+    return False
+
+
+def _match_entry_drift(result: "TransferResult") -> bool:
+    """Bump an invocation count away from the native channel's value."""
+    for name in sorted(result.profile.functions):
+        fprofile = result.profile.functions[name]
+        if fprofile.func.cfg.entry == fprofile.func.cfg.exit:
+            continue
+        fprofile.entry_count += 1
+        fprofile._block_freq = None
+        return True
+    return False
+
+
+_MATCH_MUTATORS: dict[str, "Callable[[TransferResult], bool]"] = {
+    "cross-block-match": _match_cross_block,
+    "noninjective-match": _match_noninjective,
+    "phantom-block-match": _match_phantom_block,
+    "cross-edge-match": _match_cross_edge,
+    "drop-repair": _match_drop_repair,
+    "misscale-transfer": _match_misscale,
+    "entry-drift": _match_entry_drift,
+}
+
+MATCH_MUTATIONS: tuple[str, ...] = tuple(_MATCH_MUTATORS)
+
+
+def mutate_transfer(result: "TransferResult",
+                    kind: str) -> "Optional[TransferResult]":
+    """A deep-copied transfer result with one seeded corruption of
+    ``kind``, or ``None`` when it offers no applicable site (e.g. no
+    invoked multi-block function for ``misscale-transfer`` to scale
+    detectably).  The match dataclasses are frozen, so mutators rebuild
+    them; the profile is mutated on the deep copy."""
+    if kind not in _MATCH_MUTATORS:
+        raise ValueError(f"unknown match mutation kind {kind!r}; "
+                         f"choose from {', '.join(MATCH_MUTATIONS)}")
+    mutated = copy.deepcopy(result)
+    if not _MATCH_MUTATORS[kind](mutated):
         return None
     return mutated

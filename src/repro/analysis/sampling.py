@@ -7,6 +7,11 @@ reproducible bit-for-bit and (b) the sample spreads across the whole id
 range rather than clustering at the low end.  This helper is the single
 home for that logic; the plan verifier and the conservation proof pass
 both use it.
+
+Not to be confused with :mod:`repro.profiles.sampling`, which models
+*stochastic* profile collection (binomial thinning of edge counts).
+This module never involves randomness: same inputs, same sample, on
+every machine.
 """
 
 from __future__ import annotations

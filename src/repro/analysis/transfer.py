@@ -1,0 +1,260 @@
+"""Profile transfer across a module match, repaired to exact conservation.
+
+Given a stale :class:`~repro.profiles.edge_profile.EdgeProfile` and a
+:class:`~repro.analysis.match.ModuleMatch` onto the new module, this
+module carries each function's edge counts over the matched edges and
+then *repairs* the transferred counts with the Kirchhoff
+flow-conservation system (:mod:`repro.analysis.conservation`), so the
+result is exactly conserved no matter how partial the match was.
+
+The repair is a weighted probe planning trick: matched new edges get
+weight 0 and unmatched new edges a huge weight, so Kruskal's
+maximum-weight spanning tree pulls the *unmatched* edges into the tree
+(where their counts are inferred from the conservation equations) and
+leaves the matched edges in the cotree (where their transferred counts
+are kept exactly).  :func:`~repro.analysis.conservation.reconstruct`
+then solves the tree edges, pinning the invocation count N from the old
+profile's native channel.  When every edge is matched (the self-match
+case) no count is adjusted at all and the transfer is lossless --
+byte-identical to the original profile.
+
+Ball-Larus path profiles ride along: a path key is a block-name tuple,
+so :func:`transfer_path_profile` renames each path through the block
+map and keeps it only when every renamed step is still an edge of the
+new CFG.
+
+Everything returns a :class:`TransferResult` carrying the match, the
+repaired profile, and :class:`TransferStats` (how much of the old
+counts survived) -- the artifact the V7xx checks in
+:mod:`repro.analysis.verify` prove and the seeded corruptions in
+:mod:`repro.analysis.mutate` attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..ir.function import Function, Module
+from ..profiles.edge_profile import EdgeProfile, FunctionEdgeProfile
+from ..profiles.path_profile import (FunctionPathProfile, PathKey,
+                                     PathProfile)
+from .conservation import plan_probes, reconstruct
+from .match import FunctionMatch, ModuleMatch, match_modules
+
+__all__ = [
+    "FunctionTransfer", "TransferStats", "TransferResult",
+    "transfer_function_counts", "transfer_edge_profile",
+    "transfer_path_profile", "remap_edge_profile",
+    "conservation_violations",
+]
+
+#: Spanning-tree weight for unmatched new edges: far above any matched
+#: weight (0.0), so Kruskal prefers them for the tree and their counts
+#: are inferred rather than defaulted to zero probes.
+_UNMATCHED_WEIGHT = 1e18
+
+
+@dataclass(frozen=True)
+class FunctionTransfer:
+    """Per-function accounting of one profile transfer."""
+
+    old: str
+    new: str
+    old_total: int
+    mapped_total: int
+    matched_edges: int
+    old_edges: int
+    entry_count: int
+
+    @property
+    def retained(self) -> float:
+        """Fraction of the old counts carried over matched edges."""
+        if self.old_total == 0:
+            return 1.0
+        return self.mapped_total / self.old_total
+
+
+@dataclass
+class TransferStats:
+    """Module-wide accounting of one profile transfer."""
+
+    functions: list[FunctionTransfer] = field(default_factory=list)
+    dropped_functions: tuple[str, ...] = ()
+    mapped_paths: int = 0
+    dropped_paths: int = 0
+
+    @property
+    def old_total(self) -> int:
+        return sum(ft.old_total for ft in self.functions)
+
+    @property
+    def mapped_total(self) -> int:
+        return sum(ft.mapped_total for ft in self.functions)
+
+    @property
+    def retained(self) -> float:
+        """Fraction of all old edge counts carried over matched edges."""
+        total = self.old_total
+        if total == 0:
+            return 1.0
+        return self.mapped_total / total
+
+
+@dataclass
+class TransferResult:
+    """A transferred-and-repaired profile plus its provenance."""
+
+    match: ModuleMatch
+    profile: EdgeProfile
+    stats: TransferStats
+    paths: Optional[PathProfile] = None
+
+
+def transfer_function_counts(counts: Mapping[tuple[str, str], int],
+                             entry_count: int,
+                             fmatch: FunctionMatch,
+                             new_func: Function) -> tuple[dict[int, int],
+                                                          int, int]:
+    """Carry pair-keyed old edge counts onto ``new_func`` and repair.
+
+    ``counts`` maps old ``(src, dst)`` block pairs to traversal counts
+    (the serialized-profile representation, so a stale profile can be
+    transferred without reconstructing its module).  Returns the
+    repaired ``edge uid -> count`` map for the new function, the total
+    count mass that travelled over matched edges, and the number of
+    matched edges.
+    """
+    edge_map = fmatch.edge_map()
+    mapped: dict[tuple[str, str], int] = {}
+    mapped_total = 0
+    for old_pair in sorted(counts):
+        new_pair = edge_map.get(old_pair)
+        if new_pair is None:
+            continue
+        mapped[new_pair] = counts[old_pair]
+        mapped_total += counts[old_pair]
+    matched_pairs = set(edge_map.values())
+    cfg = new_func.cfg
+    weights = {e.uid: (0.0 if e.pair in matched_pairs
+                       else _UNMATCHED_WEIGHT) for e in cfg.edges()}
+    placement = plan_probes(cfg, weights, name=new_func.name)
+    probe_counts: dict[int, int] = {}
+    for uid, src, dst in placement.edge_keys:
+        if uid in placement.probe_uids:
+            probe_counts[uid] = mapped.get((src, dst), 0)
+    repaired = reconstruct(placement, probe_counts, entry_count)
+    return repaired, mapped_total, len(matched_pairs)
+
+
+def transfer_edge_profile(old: EdgeProfile, new_module: Module,
+                          match: ModuleMatch) -> tuple[EdgeProfile,
+                                                       TransferStats]:
+    """Transfer a whole edge profile across a module match."""
+    stats = TransferStats()
+    matched_old = {fm.old for fm in match.functions}
+    stats.dropped_functions = tuple(
+        name for name in sorted(old.functions)
+        if name not in matched_old and old.functions[name].executed())
+    functions: dict[str, FunctionEdgeProfile] = {}
+    for name, func in new_module.functions.items():
+        fmatch = match.for_new(name)
+        old_fp = old.functions.get(fmatch.old) if fmatch else None
+        if fmatch is None or old_fp is None:
+            functions[name] = FunctionEdgeProfile(func, {}, 0)
+            continue
+        counts = {e.pair: old_fp.freq(e)
+                  for e in old_fp.func.cfg.edges() if old_fp.freq(e)}
+        repaired, mapped_total, matched_edges = transfer_function_counts(
+            counts, old_fp.entry_count, fmatch, func)
+        functions[name] = FunctionEdgeProfile(func, repaired,
+                                              old_fp.entry_count)
+        stats.functions.append(FunctionTransfer(
+            old=fmatch.old, new=name,
+            old_total=sum(counts.values()),
+            mapped_total=mapped_total,
+            matched_edges=matched_edges,
+            old_edges=fmatch.old_edges,
+            entry_count=old_fp.entry_count))
+    return EdgeProfile(new_module, functions), stats
+
+
+def transfer_path_profile(old: PathProfile, new_module: Module,
+                          match: ModuleMatch) -> tuple[PathProfile,
+                                                       int, int]:
+    """Rename Ball-Larus path keys through the block map.
+
+    A path survives when every block on it is matched and every
+    consecutive renamed pair is still an edge of the new CFG; paths
+    that lose a step are dropped (their flow is unrecoverable without
+    re-execution).  Returns the transferred profile plus the numbers of
+    kept and dropped distinct paths.
+    """
+    kept = 0
+    dropped = 0
+    functions: dict[str, FunctionPathProfile] = {}
+    for name, func in new_module.functions.items():
+        fmatch = match.for_new(name)
+        old_fp = old.functions.get(fmatch.old) if fmatch else None
+        if fmatch is None or old_fp is None:
+            functions[name] = FunctionPathProfile(func, {})
+            continue
+        block_map = fmatch.block_map()
+        new_edges = {e.pair for e in func.cfg.edges()}
+        counts: dict[PathKey, float] = {}
+        for path in sorted(old_fp.counts):
+            renamed = tuple(block_map.get(b, "") for b in path)
+            ok = all(renamed) and all(
+                (renamed[i], renamed[i + 1]) in new_edges
+                for i in range(len(renamed) - 1))
+            if not ok:
+                dropped += 1
+                continue
+            counts[renamed] = counts.get(renamed, 0) \
+                + old_fp.counts[path]
+            kept += 1
+        functions[name] = FunctionPathProfile(func, counts)
+    for name in sorted(old.functions):
+        if match.for_old(name) is None:
+            dropped += len(old.functions[name].counts)
+    return PathProfile(new_module, functions), kept, dropped
+
+
+def remap_edge_profile(old: EdgeProfile, new_module: Module,
+                       match: Optional[ModuleMatch] = None,
+                       paths: Optional[PathProfile] = None
+                       ) -> TransferResult:
+    """Match (unless given) and transfer; the one-call remap entry."""
+    if match is None:
+        match = match_modules(old.module, new_module)
+    profile, stats = transfer_edge_profile(old, new_module, match)
+    transferred_paths: Optional[PathProfile] = None
+    if paths is not None:
+        transferred_paths, kept, dropped = transfer_path_profile(
+            paths, new_module, match)
+        stats.mapped_paths = kept
+        stats.dropped_paths = dropped
+    return TransferResult(match=match, profile=profile, stats=stats,
+                          paths=transferred_paths)
+
+
+def conservation_violations(fprofile: FunctionEdgeProfile
+                            ) -> list[tuple[str, int]]:
+    """Kirchhoff residual per block: ``(name, inflow - outflow)`` for
+    every block where flow is not conserved.  The virtual exit->entry
+    edge carries ``entry_count``, so the entry sources N and the exit
+    sinks it.  An exactly conserved profile returns an empty list."""
+    cfg = fprofile.func.cfg
+    violations: list[tuple[str, int]] = []
+    for name in cfg.blocks:
+        inflow = sum(fprofile.edge_freq.get(e.uid, 0)
+                     for e in cfg.in_edges(name))
+        outflow = sum(fprofile.edge_freq.get(e.uid, 0)
+                      for e in cfg.out_edges(name))
+        if name == cfg.entry:
+            inflow += fprofile.entry_count
+        if name == cfg.exit:
+            outflow += fprofile.entry_count
+        if inflow != outflow:
+            violations.append((name, inflow - outflow))
+    return violations

@@ -44,6 +44,16 @@ on (diagnostic codes in parentheses):
   fundamental-cycle basis of the conservation solution space plus
   enumerated execution walks (V603; V604 notes a truncated walk space,
   V600 reports how many counters the proof deletes).
+* **Stale-profile matching** — :func:`verify_match` proves a
+  :class:`~repro.analysis.match.ModuleMatch` structurally sound: block
+  and edge correspondences are injective, land on real CFG nodes/edges,
+  pin entry to entry and exit to exit, and agree with each other
+  (V701).  :func:`verify_transfer` proves a transferred profile exactly
+  flow-conserved with the invocation count pinned from the old
+  profile's native channel (V702), proves a self-match transfer
+  lossless — identity block maps and a byte-identical serialized
+  profile (V703) — and reports coverage statistics, the fraction of
+  old counts the transfer retained (V704 note).
 
 :func:`verify_module_plan` folds in :func:`repro.ir.validate` findings
 (V000) so one report subsumes structural IR validity, and
@@ -70,6 +80,9 @@ from .sampling import SAMPLE_TARGET, sample_ids
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
     from ..engine.session import ProfilingSession
+    from ..profiles.edge_profile import EdgeProfile
+    from .match import ModuleMatch
+    from .transfer import TransferResult
 
 #: Above this many live paths the verifier samples ids instead of
 #: enumerating (the full suite tops out near 13k paths per function, so
@@ -912,4 +925,249 @@ def verify_suite(session: "ProfilingSession",
                                                   compute)
             report.title = f"{workload.name}/{technique}"
             reports.append(report)
+    return reports
+
+
+# ---------------------------------------------------------------------------
+# Stale-profile matching (V7xx)
+# ---------------------------------------------------------------------------
+
+#: Cap on per-function conservation-residual diagnostics.
+_MAX_RESIDUAL_DIAGS = 4
+
+
+def verify_match(old_module: Module, new_module: Module,
+                 match: "ModuleMatch") -> Report:
+    """Prove a module match structurally sound (V701).
+
+    Injectivity on both sides (no old block claimed twice, no new block
+    shared), every matched name a real block of its CFG, the entry and
+    exit pinned to their counterparts, confidences inside ``(0, 1]``,
+    and every edge correspondence consistent with the block map and
+    backed by a real edge on both sides.
+    """
+    report = Report(title=f"match {old_module.name} -> {new_module.name}")
+
+    def add(code: str, message: str, function: str = "",
+            hint: str = "") -> None:
+        report.add(Diagnostic(severity=Severity.ERROR, code=code,
+                              message=message, function=function,
+                              hint=hint))
+
+    seen_old: set[str] = set()
+    seen_new: set[str] = set()
+    for fm in match.functions:
+        if fm.old in seen_old:
+            add("V701", f"function {fm.old!r} matched more than once")
+        if fm.new in seen_new:
+            add("V701", f"new function {fm.new!r} claimed by more than "
+                        f"one match")
+        seen_old.add(fm.old)
+        seen_new.add(fm.new)
+        old_func = old_module.functions.get(fm.old)
+        new_func = new_module.functions.get(fm.new)
+        if old_func is None or new_func is None:
+            add("V701", f"match pairs unknown function(s) "
+                        f"{fm.old!r} -> {fm.new!r}")
+            continue
+        old_cfg, new_cfg = old_func.cfg, new_func.cfg
+        block_map: dict[str, str] = {}
+        claimed: set[str] = set()
+        for bm in fm.blocks:
+            if bm.old in block_map:
+                add("V701", f"block {bm.old!r} matched more than once",
+                    fm.old, "the correspondence must be injective")
+            if bm.new in claimed:
+                add("V701", f"new block {bm.new!r} claimed by more than "
+                            f"one old block", fm.old,
+                    "the correspondence must be injective")
+            block_map[bm.old] = bm.new
+            claimed.add(bm.new)
+            if bm.old not in old_cfg.blocks:
+                add("V701", f"matched block {bm.old!r} is not in the old "
+                            f"CFG", fm.old)
+            if bm.new not in new_cfg.blocks:
+                add("V701", f"matched block {bm.new!r} is not in the new "
+                            f"CFG", fm.old)
+            if not 0.0 < bm.confidence <= 1.0:
+                add("V701", f"match {bm.old!r} -> {bm.new!r} carries "
+                            f"confidence {bm.confidence!r} outside (0, 1]",
+                    fm.old)
+        mapped_entry = block_map.get(old_cfg.entry or "")
+        if mapped_entry is not None and mapped_entry != new_cfg.entry:
+            add("V701", f"old entry maps to {mapped_entry!r}, not the new "
+                        f"entry {new_cfg.entry!r}", fm.old,
+                "the virtual exit->entry edge only lines up when entries "
+                "correspond")
+        mapped_exit = block_map.get(old_cfg.exit or "")
+        if mapped_exit is not None and mapped_exit != new_cfg.exit:
+            add("V701", f"old exit maps to {mapped_exit!r}, not the new "
+                        f"exit {new_cfg.exit!r}", fm.old)
+        old_pairs = {(e.src, e.dst) for e in old_cfg.edges()}
+        new_pairs = {(e.src, e.dst) for e in new_cfg.edges()}
+        for em in fm.edges:
+            if em.old not in old_pairs:
+                add("V701", f"matched edge {em.old[0]}->{em.old[1]} is "
+                            f"not an edge of the old CFG", fm.old)
+            if em.new not in new_pairs:
+                add("V701", f"matched edge {em.new[0]}->{em.new[1]} is "
+                            f"not an edge of the new CFG", fm.old)
+            expect = (block_map.get(em.old[0]), block_map.get(em.old[1]))
+            if expect != em.new:
+                add("V701", f"edge match {em.old[0]}->{em.old[1]} lands "
+                            f"on {em.new[0]}->{em.new[1]}, but the block "
+                            f"map sends its endpoints to "
+                            f"{expect[0]!r}->{expect[1]!r}", fm.old,
+                    "edge correspondences must follow the block map")
+    return report
+
+
+def verify_transfer(transfer: "TransferResult",
+                    old_profile: Optional["EdgeProfile"] = None
+                    ) -> Report:
+    """Prove a transferred profile repaired and faithful (V702-V704).
+
+    Every function of the transferred profile must satisfy Kirchhoff
+    conservation exactly, with the invocation count N pinned to the old
+    profile's native channel (V702).  When the match is a self-match
+    (identical fingerprints), the transfer must be lossless: identity
+    block maps and a byte-identical serialized profile (V703).  V704 is
+    an INFO note carrying the coverage statistics the staleness study
+    reports.
+    """
+    from ..profiles.serialize import edge_profile_to_dict
+    from .transfer import conservation_violations
+
+    import json
+
+    stats = transfer.stats
+    report = Report(title=f"transfer -> {transfer.profile.module.name}")
+    report.add(Diagnostic(
+        severity=Severity.INFO, code="V704",
+        message=f"{stats.retained:.1%} of old edge counts retained "
+                f"({stats.mapped_total} of {stats.old_total}); "
+                f"{len(stats.dropped_functions)} executed function(s) "
+                f"dropped"
+                + (f"; {stats.mapped_paths} path(s) kept, "
+                   f"{stats.dropped_paths} dropped"
+                   if stats.mapped_paths or stats.dropped_paths else "")))
+
+    for name in sorted(transfer.profile.functions):
+        fprofile = transfer.profile.functions[name]
+        residuals = conservation_violations(fprofile)
+        for block, residual in residuals[:_MAX_RESIDUAL_DIAGS]:
+            report.add(Diagnostic(
+                severity=Severity.ERROR, code="V702",
+                message=f"flow not conserved at {block!r}: "
+                        f"inflow - outflow = {residual}",
+                function=name, block=block,
+                hint="the transferred profile was not repaired against "
+                     "the conservation system"))
+        if len(residuals) > _MAX_RESIDUAL_DIAGS:
+            report.add(Diagnostic(
+                severity=Severity.INFO, code="V799",
+                message=f"{len(residuals) - _MAX_RESIDUAL_DIAGS} further "
+                        f"conservation residuals suppressed",
+                function=name))
+
+    if old_profile is not None:
+        for fm in transfer.match.functions:
+            old_fp = old_profile.functions.get(fm.old)
+            new_fp = transfer.profile.functions.get(fm.new)
+            if old_fp is None or new_fp is None:
+                continue
+            if new_fp.entry_count != old_fp.entry_count:
+                report.add(Diagnostic(
+                    severity=Severity.ERROR, code="V702",
+                    message=f"invocation count {new_fp.entry_count} "
+                            f"drifted from the native channel's "
+                            f"{old_fp.entry_count}",
+                    function=fm.new,
+                    hint="N is measured, never inferred; the transfer "
+                         "must pin it"))
+
+    if transfer.match.identical and old_profile is not None:
+        for fm in transfer.match.functions:
+            non_identity = [bm for bm in fm.blocks if bm.old != bm.new]
+            if non_identity:
+                bad = non_identity[0]
+                report.add(Diagnostic(
+                    severity=Severity.ERROR, code="V703",
+                    message=f"self-match maps {bad.old!r} to "
+                            f"{bad.new!r}; a module matched against "
+                            f"itself must produce the identity",
+                    function=fm.old))
+        before = json.dumps(edge_profile_to_dict(old_profile),
+                            sort_keys=True)
+        after = json.dumps(edge_profile_to_dict(transfer.profile),
+                           sort_keys=True)
+        if before != after:
+            report.add(Diagnostic(
+                severity=Severity.ERROR, code="V703",
+                message="self-match transfer is not byte-identical to "
+                        "the original profile",
+                hint="with every edge matched, the repair must keep "
+                     "every transferred count exactly"))
+    return report
+
+
+def match_suite(session: "ProfilingSession",
+                workloads: Optional[list[Workload]] = None,
+                scale: int = 1) -> list[Report]:
+    """Prove stale-profile matching over the workload suite.
+
+    Two reports per workload: ``<name>/self`` matches the expanded
+    module against itself and proves the transfer lossless (V703),
+    while ``<name>/stale`` treats the unexpanded compile as the stale
+    binary — its traced profile is matched and transferred onto the
+    optimizer-expanded module, the realistic re-optimization edit — and
+    proves the match sound and the repair exact (V701, V702, V704).
+    Reports are cached per fingerprint pair.
+    """
+    from ..engine.fingerprint import fingerprint_module, fingerprint_text
+    from ..workloads import SUITE
+    from .match import match_modules
+    from .transfer import remap_edge_profile
+
+    chosen = list(workloads) if workloads is not None else list(SUITE)
+    reports: list[Report] = []
+    for workload in chosen:
+        old_module = session.compile(workload, scale)
+        new_module = session.expand(workload, scale).module
+        old_paths, old_edge, _rv = session.trace(old_module)
+        new_paths, new_edge, _rv2 = session.trace(new_module)
+        old_fp = fingerprint_module(old_module)
+        new_fp = fingerprint_module(new_module)
+
+        def compute_self() -> Report:
+            match = match_modules(new_module, new_module)
+            transfer = remap_edge_profile(new_edge, new_module, match,
+                                          paths=new_paths)
+            report = verify_match(new_module, new_module, match)
+            merged = verify_transfer(transfer, new_edge)
+            report.extend(merged.diagnostics)
+            return report
+
+        def compute_stale() -> Report:
+            match = match_modules(old_module, new_module)
+            transfer = remap_edge_profile(old_edge, new_module, match,
+                                          paths=old_paths)
+            report = verify_match(old_module, new_module, match)
+            merged = verify_transfer(transfer, old_edge)
+            report.extend(merged.diagnostics)
+            return report
+
+        key_self = fingerprint_text("match-report", new_fp, new_fp,
+                                    session.backend)
+        report = session.cache.get_or_compute("matchreport", key_self,
+                                              compute_self)
+        report.title = f"{workload.name}/self"
+        reports.append(report)
+
+        key_stale = fingerprint_text("match-report", old_fp, new_fp,
+                                     session.backend)
+        report = session.cache.get_or_compute("matchreport", key_stale,
+                                              compute_stale)
+        report.title = f"{workload.name}/stale"
+        reports.append(report)
     return reports

@@ -70,6 +70,7 @@ class KindStats:
     disk_hits: int = 0  # subset of ``hits`` served from the disk layer
     corrupt: int = 0    # disk entries that failed verification
     stale: int = 0      # intact entries written under an older schema
+    remapped: int = 0   # stale profiles recovered by profile matching
 
 
 @dataclass
@@ -104,6 +105,10 @@ class CacheStats:
     @property
     def stale(self) -> int:
         return sum(k.stale for k in self.kinds.values())
+
+    @property
+    def remapped(self) -> int:
+        return sum(k.remapped for k in self.kinds.values())
 
     def summary(self) -> str:
         parts = []

@@ -38,7 +38,10 @@ from ..profiles.serialize import edge_profile_to_dict
 # 8: sparse edge probing -- conservation placements change edge-count
 #    codegen (the edges-sparse profiler reconstructs dense counts from
 #    cotree probes); new "conservereport" stage kind.
-CACHE_SCHEMA_VERSION = 8
+# 9: stale-profile matching -- stale cached profiles are remapped onto
+#    the recompiled module instead of discarded; new "remap" and
+#    "matchreport" stage kinds.
+CACHE_SCHEMA_VERSION = 9
 
 _SEP = "\x1f"  # unit separator: cannot appear in the joined parts
 

@@ -23,7 +23,7 @@ path: the stages are the same code, merely memoised.
 from __future__ import annotations
 
 import os
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from ..core import DEFAULT_CONFIG, ModulePlan, ProfilerConfig
 from ..interp import resolve_backend
@@ -38,6 +38,9 @@ from .fingerprint import (fingerprint_config, fingerprint_edge_profile,
 from .results import (SuiteExecutionReport, TECHNIQUES, TechniqueResult,
                       WorkloadResult)
 from . import faults, stages
+
+if TYPE_CHECKING:
+    from ..analysis.transfer import TransferResult
 
 __all__ = ["ProfilingSession", "default_session", "set_default_session"]
 
@@ -119,6 +122,9 @@ class ProfilingSession:
         self.retries = max(0, int(retries))
         # Per-task status of the most recent run_suite call.
         self.last_run_report: Optional[SuiteExecutionReport] = None
+        # Modules traced this session, in trace order, keyed by module
+        # fingerprint: the donor pool for stale-profile remapping.
+        self._traced: dict[str, tuple[Module, PathProfile, EdgeProfile]] = {}
 
     @property
     def stats(self):
@@ -150,11 +156,58 @@ class ProfilingSession:
     def trace(self, module: Module) -> tuple[PathProfile, EdgeProfile,
                                              object]:
         """Ground truth for a module: (path profile, edge profile, rv)."""
-        key = fingerprint_text("trace", fingerprint_module(module),
-                               self.backend)
-        return self.cache.get_or_compute(
+        fp = fingerprint_module(module)
+        key = fingerprint_text("trace", fp, self.backend)
+        paths, edge_profile, rv = self.cache.get_or_compute(
             "trace", key,
             lambda: stages.ground_truth(module, backend=self.backend))
+        self._traced.pop(fp, None)  # re-insert to keep recency order
+        self._traced[fp] = (module, paths, edge_profile)
+        return paths, edge_profile, rv
+
+    def remap_profile(self, old: EdgeProfile, new_module: Module,
+                      paths: Optional[PathProfile] = None
+                      ) -> "TransferResult":
+        """Remap a stale edge profile onto a recompiled module (cached).
+
+        The remap-instead-of-discard path: rather than throwing away a
+        profile whose module was edited and recompiled, the old module
+        is matched against the new one (:mod:`repro.analysis.match`)
+        and the counts are transferred and repaired to exact flow
+        conservation (:mod:`repro.analysis.transfer`).  Each serve is
+        counted in ``stats.of("remap").remapped``, separately from the
+        plain stale-discard counter.
+        """
+        from ..analysis.transfer import remap_edge_profile
+
+        key = fingerprint_text("remap", fingerprint_module(old.module),
+                               fingerprint_module(new_module),
+                               "paths" if paths is not None else "edges")
+        result = self.cache.get_or_compute(
+            "remap", key,
+            lambda: remap_edge_profile(old, new_module, paths=paths))
+        self.cache.stats.of("remap").remapped += 1
+        return result
+
+    def stale_advice(self, module: Module) -> Optional["TransferResult"]:
+        """A remapped profile for ``module`` from the trace history.
+
+        Returns ``None`` when ``module`` was already traced this session
+        (fresh ground truth is cached and strictly better) or when no
+        earlier trace of a same-named module exists.  Otherwise the most
+        recently traced version of the module is matched against this
+        one and its profile transferred -- usable as planning input
+        before ground truth has been re-collected.
+        """
+        fp = fingerprint_module(module)
+        if fp in self._traced:
+            return None
+        for old_fp in reversed(self._traced):
+            old_module, old_paths, old_profile = self._traced[old_fp]
+            if old_module.name == module.name:
+                return self.remap_profile(old_profile, module,
+                                          paths=old_paths)
+        return None
 
     def profile_module(self, module: Module,
                        profilers: Optional[Iterable[str]] = None,

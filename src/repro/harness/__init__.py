@@ -10,6 +10,8 @@ from .ablation import (AblationRow, figure13, leave_one_out, one_at_a_time,
                        select_benchmarks)
 from .net_study import NetComparison, compare_net, net_table
 from .staleness import StalenessRow, staleness_study, staleness_table
+from .matching_study import (EDIT_KINDS, MatchingRow, matching_rows_to_dict,
+                             matching_study, matching_table, seeded_edit)
 from .superblock_study import (SuperblockComparison, compare_superblocks,
                                superblock_table)
 from .metrics_study import MetricComparison, compare_metrics, metrics_table
@@ -34,6 +36,8 @@ __all__ = [
     "select_benchmarks",
     "NetComparison", "compare_net", "net_table",
     "StalenessRow", "staleness_study", "staleness_table",
+    "EDIT_KINDS", "MatchingRow", "matching_rows_to_dict",
+    "matching_study", "matching_table", "seeded_edit",
     "SuperblockComparison", "compare_superblocks", "superblock_table",
     "MetricComparison", "compare_metrics", "metrics_table",
     "SamplingRow", "sampling_study", "sampling_table",

@@ -1,8 +1,8 @@
 """Command-line driver: ``python -m repro.harness <experiment> [options]``.
 
 Experiments: ``table1``, ``table2``, ``fig9``, ``fig10``, ``fig11``,
-``fig12``, ``fig13``, ``oaat`` (the Section 8.3 one-at-a-time study), or
-``all``.  ``--scale`` stretches every workload's driver loops;
+``fig12``, ``fig13``, ``oaat`` (the Section 8.3 one-at-a-time study),
+``matching`` (the stale-profile matching study), or ``all``.  ``--scale`` stretches every workload's driver loops;
 ``--benchmarks`` restricts the suite.  ``--jobs N`` fans cold workloads
 over N worker processes; results are cached content-addressed under
 ``results/.cache/`` (see ``--cache-dir``), so re-running an experiment
@@ -19,13 +19,14 @@ import time
 from ..engine import ArtifactCache, ProfilingSession
 from ..workloads import SUITE, get_workload
 from . import (figure9, figure10, figure11, figure12, figure13,
-               hpt_table, ifconvert_table, metrics_table, net_table,
-               one_at_a_time, profiler_table, sampling_table,
+               hpt_table, ifconvert_table, matching_table, metrics_table,
+               net_table, one_at_a_time, profiler_table, sampling_table,
                superblock_table, table1, table2)
 
 EXPERIMENTS = ("table1", "table2", "fig9", "fig10", "fig11", "fig12",
                "fig13", "oaat", "net", "superblocks", "ifconvert",
-               "metrics", "sampling", "hpt", "profilers", "all")
+               "metrics", "sampling", "hpt", "profilers", "matching",
+               "all")
 
 DEFAULT_CACHE_DIR = "results/.cache"
 
@@ -158,7 +159,8 @@ def main(argv: list[str] | None = None) -> int:
     wanted = ([args.experiment] if args.experiment != "all"
               else ["table1", "table2", "fig9", "fig10", "fig11", "fig12",
                     "fig13", "oaat", "net", "superblocks", "ifconvert",
-                    "metrics", "sampling", "hpt", "profilers"])
+                    "metrics", "sampling", "hpt", "profilers",
+                    "matching"])
     renderers = {
         "table1": table1,
         "table2": table2,
@@ -175,6 +177,9 @@ def main(argv: list[str] | None = None) -> int:
         "sampling": lambda r: sampling_table(r, session=session),
         "hpt": hpt_table,
         "profilers": lambda r: profiler_table(r, session=session),
+        "matching": lambda r: matching_table(
+            [get_workload(n) for n in r], session=session,
+            scale=args.scale),
     }
     for name in wanted:
         text = renderers[name](results)

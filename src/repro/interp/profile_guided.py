@@ -161,7 +161,11 @@ def derive_layout(func: Function, fprofile: "FunctionEdgeProfile",
     profile says it is not worth promoting."""
     if fprofile is None or not fprofile.executed():
         return None
-    freqs = {name: fprofile.block_freq(name) for name in func.cfg.blocks}
+    # Remapped stale profiles can carry locally inconsistent transferred
+    # counts whose conservation repair infers a negative flow on an
+    # unmatched edge; layout derivation treats those blocks as unexecuted.
+    freqs = {name: max(0, fprofile.block_freq(name))
+             for name in func.cfg.blocks}
     instructions = sum(
         freqs[name] * len(block.instructions)
         for name, block in func.cfg.blocks.items())

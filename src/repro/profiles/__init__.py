@@ -14,11 +14,15 @@ from .metrics import (HOT_THRESHOLD, HOT_THRESHOLD_STRICT, EstimatedFlows,
                       FunctionCoverage, accuracy, actual_hot_paths, coverage,
                       edge_profile_coverage, select_top)
 from .sampling import sample_edge_profile
-from .diff import PathDelta, ProfileDiff, diff_profiles, format_diff
-from .serialize import (edge_profile_from_dict, edge_profile_to_dict,
-                        load_edge_profile, load_path_profile,
-                        path_profile_from_dict, path_profile_to_dict,
-                        save_edge_profile, save_path_profile)
+from .diff import (EdgeDelta, EdgeProfileDiff, PathDelta, ProfileDiff,
+                   diff_edge_profiles, diff_profiles, format_diff,
+                   format_edge_diff)
+from .serialize import (edge_profile_from_dict,
+                        edge_profile_from_dict_or_remap,
+                        edge_profile_to_dict, load_edge_profile,
+                        load_path_profile, path_profile_from_dict,
+                        path_profile_to_dict, save_edge_profile,
+                        save_path_profile)
 
 __all__ = [
     "BRANCH", "UNIT", "Metric", "path_branches", "path_flow",
@@ -31,9 +35,12 @@ __all__ = [
     "HOT_THRESHOLD", "HOT_THRESHOLD_STRICT", "EstimatedFlows",
     "FunctionCoverage", "accuracy", "actual_hot_paths", "coverage",
     "edge_profile_coverage", "select_top",
-    "edge_profile_from_dict", "edge_profile_to_dict", "load_edge_profile",
+    "edge_profile_from_dict", "edge_profile_from_dict_or_remap",
+    "edge_profile_to_dict", "load_edge_profile",
     "load_path_profile", "path_profile_from_dict", "path_profile_to_dict",
     "save_edge_profile", "save_path_profile",
     "sample_edge_profile",
-    "PathDelta", "ProfileDiff", "diff_profiles", "format_diff",
+    "EdgeDelta", "EdgeProfileDiff", "PathDelta", "ProfileDiff",
+    "diff_edge_profiles", "diff_profiles", "format_diff",
+    "format_edge_diff",
 ]

@@ -10,6 +10,12 @@ exactly the signal degradation PPP's thresholds must tolerate.
 
 The robustness study in :mod:`repro.harness.sampling_study` plans PPP
 from sampled profiles at decreasing rates and measures what survives.
+
+Not to be confused with :mod:`repro.analysis.sampling`, which is
+*deterministic* stride sampling of large enumeration spaces (path ids,
+walk flows) inside the static analyses.  This module is the
+*stochastic* one: it thins dynamic counts pseudo-randomly (seeded, so
+still reproducible) to model real sampling noise.
 """
 
 from __future__ import annotations

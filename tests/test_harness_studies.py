@@ -1,9 +1,12 @@
-"""Tests for the NET-vs-PPP and staleness studies, and the CLI."""
+"""Tests for the NET-vs-PPP, staleness, and matching studies, and
+the CLI."""
 
 import pytest
 
-from repro.harness import (compare_net, net_table, run_workload,
-                           staleness_study, staleness_table)
+from repro.harness import (compare_net, matching_rows_to_dict,
+                           matching_study, matching_table, net_table,
+                           run_workload, staleness_study,
+                           staleness_table)
 from repro.workloads import get_workload
 
 
@@ -45,6 +48,34 @@ class TestStaleness:
     def test_staleness_table_renders(self):
         text = staleness_table([get_workload("mcf")])
         assert "Acc stale" in text and "mcf" in text
+
+
+class TestMatchingStudy:
+    @pytest.fixture(scope="class")
+    def row(self):
+        return matching_study(get_workload("mcf"))
+
+    def test_remap_recovers_most_of_the_profile(self, row):
+        # The PR acceptance bar: the matcher carries >= 80% of the old
+        # edge counts across a structural edit, the repaired profile's
+        # flow distribution tracks fresh ground truth, and tier-2
+        # planning derives the same layouts it would from fresh counts.
+        assert row.retained >= 0.8
+        assert row.edge_accuracy >= 0.95
+        assert row.layout_agreement >= 0.99
+        assert row.block_coverage >= 0.8
+
+    def test_untimed_row_has_no_speedup(self, row):
+        assert row.discard_mops is None
+        assert row.recovered_speedup is None
+
+    def test_table_and_json_render(self, row):
+        text = matching_table([get_workload("mcf")])
+        assert "Retained" in text and "mcf" in text
+        data = matching_rows_to_dict([row])
+        assert data["schema"] == 1
+        assert data["workloads"]["mcf"]["retained"] == row.retained
+        assert data["mean_retained"] == pytest.approx(row.retained)
 
 
 class TestCli:

@@ -74,3 +74,43 @@ class TestSampling:
         assert 80_000 <= kept <= 120_000
         assert _thin(0, 0.5, rng) == 0
         assert _thin(10, 1.0, rng) == 10
+
+
+class TestSamplingUnit:
+    """Direct unit tests of the module internals (the stochastic
+    thinning helper, structure preservation, input isolation) — the
+    deterministic stride sampler lives in repro.analysis.sampling and
+    is tested with the conservation suite."""
+
+    def test_thin_is_bounded_and_deterministic(self):
+        import random
+        from repro.profiles.sampling import _thin
+        for count in (1, 7, 100, 1024):  # the exact binomial branch
+            kept = _thin(count, 0.5, random.Random(3))
+            assert 0 <= kept <= count
+        a = _thin(500, 0.3, random.Random(9))
+        b = _thin(500, 0.3, random.Random(9))
+        assert a == b
+
+    def test_structure_preserved(self, env):
+        _m, profile = env
+        sampled = sample_edge_profile(profile, 0.5, seed=1)
+        assert sampled.module is profile.module
+        assert set(sampled.functions) == set(profile.functions)
+        for name, fp in sampled.functions.items():
+            original = profile.functions[name]
+            assert fp.func is original.func
+            assert set(fp.edge_freq) <= set(original.edge_freq)
+            assert all(c >= 1 for c in fp.edge_freq.values())
+
+    def test_original_profile_untouched(self, env):
+        _m, profile = env
+        before = {name: dict(fp.edge_freq)
+                  for name, fp in profile.functions.items()}
+        entries = {name: fp.entry_count
+                   for name, fp in profile.functions.items()}
+        sample_edge_profile(profile, 0.2, seed=4)
+        assert before == {name: dict(fp.edge_freq)
+                          for name, fp in profile.functions.items()}
+        assert entries == {name: fp.entry_count
+                           for name, fp in profile.functions.items()}

@@ -1,0 +1,104 @@
+"""Property-based matching and transfer checks over random programs.
+
+``test_analysis_match`` proves the matcher on the stock suite; this
+file extends the contract to arbitrary generated programs: matching a
+module against itself is the identity and its profile transfers
+byte-identically (a remap never degrades a profile that is not stale),
+and a rename-only edit — the most common kind of churn a dynamic
+optimizer sees between builds — loses nothing and keeps every
+transferred function exactly flow-conserved.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import (conservation_violations, match_modules,
+                            remap_edge_profile)
+from repro.harness import seeded_edit
+from repro.interp import Machine, MachineError
+from repro.profiles import EdgeProfile, PathProfile, edge_profile_to_dict
+from repro.workloads import random_module
+
+_LIMIT = 400_000
+
+_PROP_SETTINGS = dict(
+    max_examples=25, deadline=None, derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.filter_too_much])
+
+
+def _module_or_skip(seed):
+    try:
+        return random_module(seed)
+    except Exception as exc:  # pragma: no cover - generator bug guard
+        pytest.skip(f"generator failed for seed {seed}: {exc}")
+
+
+def _profiled(module):
+    """(paths, profile), or None when the module does not run to
+    completion under the instruction cap (hypothesis skips such
+    examples by returning early, not via pytest.skip, which would
+    abort the whole test)."""
+    machine = Machine(module, collect_edge_profile=True, trace_paths=True,
+                      max_instructions=_LIMIT)
+    try:
+        result = machine.run()
+    except MachineError:
+        return None
+    paths = PathProfile.from_trace(module, result.path_counts)
+    profile = EdgeProfile.from_run(module, result.edge_counts,
+                                   result.invocations)
+    return paths, profile
+
+
+def _serialized(profile):
+    return json.dumps(edge_profile_to_dict(profile), sort_keys=True)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(**_PROP_SETTINGS)
+def test_self_match_is_the_identity(seed):
+    module = _module_or_skip(seed)
+    match = match_modules(module, module)
+    assert match.identical, seed
+    for fm in match.functions:
+        assert fm.old == fm.new, (seed, fm.old)
+        assert fm.block_coverage == 1.0, (seed, fm.old)
+        assert fm.edge_coverage == 1.0, (seed, fm.old)
+        for old, new in fm.block_map().items():
+            assert old == new, (seed, fm.old, old, new)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(**_PROP_SETTINGS)
+def test_self_transfer_is_byte_identical(seed):
+    module = _module_or_skip(seed)
+    profiled = _profiled(module)
+    if profiled is None:
+        return
+    paths, profile = profiled
+    result = remap_edge_profile(profile, module, paths=paths)
+    assert result.stats.retained == 1.0, seed
+    assert _serialized(result.profile) == _serialized(profile), seed
+    assert result.stats.dropped_paths == 0, seed
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(**_PROP_SETTINGS)
+def test_rename_only_transfer_is_lossless_and_conserved(seed):
+    module = _module_or_skip(seed)
+    profiled = _profiled(module)
+    if profiled is None:
+        return
+    paths, profile = profiled
+    renamed = seeded_edit(module, seed=seed % 97 + 1, kinds=("rename",))
+    result = remap_edge_profile(profile, renamed, paths=paths)
+    assert result.stats.retained == 1.0, seed
+    for name, fprofile in result.profile.functions.items():
+        assert conservation_violations(fprofile) == [], (seed, name)
+        old = profile.functions[name]
+        assert fprofile.entry_count == old.entry_count, (seed, name)
+        assert (sorted(fprofile.edge_freq.values())
+                == sorted(old.edge_freq.values())), (seed, name)
