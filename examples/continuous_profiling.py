@@ -1,48 +1,61 @@
-"""Continuous profiling across optimization generations.
+"""Continuous profiling across optimization generations -- as a service.
 
 The paper's conclusion: PPP's 5% overhead "makes it feasible for future
 staged dynamic compilation systems to collect path profiles continuously
 and use them to drive path-based optimizations."  This example runs that
-loop for three generations: profile with PPP, optimize from the hot paths
-(superblocks + if-conversion + scalar cleanup), and profile the new code
-again -- showing that PPP stays cheap and accurate on each generation's
-output, because every generation's code is just another CFG.
+loop for three generations as a *client of the continuous profiling
+service* (``repro.service``): each generation submits the current module
+to an in-process :class:`ProfilingService`, optimizes from the hot paths
+the response carries (superblocks + if-conversion + scalar cleanup), and
+submits the new code again -- showing that PPP stays cheap and accurate
+on each generation's output, because every generation's code is just
+another CFG.
+
+The finale shows the service's robustness ladder: a request whose
+deadline is too tight for fresh profiling is answered from the tenant's
+last fresh profile, conservation-repaired onto the new module and
+explicitly flagged with a ``stale-remap`` degradation event.
 
 Run:  python examples/continuous_profiling.py
 """
 
-from repro.core import (build_estimated_profile, evaluate_accuracy,
-                        plan_ppp, run_with_plan)
-from repro.harness import ground_truth
+import asyncio
+
 from repro.opt import (cleanup_module, form_superblocks, if_convert_module,
                        merge_crossings)
+from repro.service import ProfileRequest, ProfilingService
 from repro.workloads import get_workload
 
+TENANT = "optimizer"
+LABEL = "twolf-study"  # one stale-store key across all generations
 
-def profile_generation(module, label):
-    actual, edge_profile, rv = ground_truth(module)
-    plan = plan_ppp(module, edge_profile)
-    run = run_with_plan(plan)
-    estimated = build_estimated_profile(run, edge_profile)
-    accuracy = evaluate_accuracy(actual, estimated.flows)
-    crossings = merge_crossings(module, edge_profile)
+
+async def profile_generation(service, module, label):
+    """Ask the service for a fresh PPP profile of this generation."""
+    response = await service.request(ProfileRequest(
+        tenant=TENANT, module=module, technique="ppp", label=LABEL))
+    assert response.status == "fresh", response.error
+    crossings = merge_crossings(module, response.profile)
     print(f"{label}: size={module.size():4d} IR stmts  "
-          f"distinct paths={actual.distinct_paths():3d}  "
-          f"PPP overhead={run.overhead * 100:4.1f}%  "
-          f"accuracy={accuracy * 100:3.0f}%  "
+          f"distinct paths={response.paths.distinct_paths():3d}  "
+          f"PPP overhead={response.overhead * 100:4.1f}%  "
+          f"accuracy={response.accuracy * 100:3.0f}%  "
           f"merge crossings={crossings:6.0f}")
-    return actual, edge_profile, estimated, rv
+    return response
 
 
-def optimize_generation(module, edge_profile, estimated, top_n=4):
+async def optimize_generation(service, module, estimated, top_n=4):
     # 1. superblocks from the hottest measured paths
     ranked = sorted(estimated.flows.items(), key=lambda kv: (-kv[1], kv[0]))
     traces = [(name, blocks, flow)
               for (name, blocks), flow in ranked[:top_n]]
     module, sb_stats = form_superblocks(module, traces)
-    # 2. predicate what is still mispredictable
-    _actual, profile, _rv = ground_truth(module)
-    module, ic_stats = if_convert_module(module, profile)
+    # 2. predicate what is still mispredictable, using a service profile
+    #    of the straightened code
+    mid = await service.request(ProfileRequest(
+        tenant=TENANT, module=module, technique="ppp", label=LABEL))
+    assert mid.status == "fresh", mid.error
+    module, ic_stats = if_convert_module(module, mid.profile)
     # 3. clean up across the straightened/predicated code
     module, cl_stats = cleanup_module(module)
     print(f"   optimized: {sb_stats.traces_formed} superblocks "
@@ -52,19 +65,45 @@ def optimize_generation(module, edge_profile, estimated, top_n=4):
     return module
 
 
-def main() -> None:
-    module = get_workload("twolf").compile()
-    baseline_rv = None
-    for generation in range(3):
-        actual, edge_profile, estimated, rv = profile_generation(
-            module, f"gen {generation}")
-        if baseline_rv is None:
-            baseline_rv = rv
-        assert rv == baseline_rv, "optimization changed behaviour!"
-        if generation < 2:
-            module = optimize_generation(module, edge_profile, estimated)
+async def run_study() -> None:
+    # min_fresh_s makes any deadlined request degrade to the stale store:
+    # the service refuses to start fresh work it cannot finish in time.
+    async with ProfilingService(jobs=1, shards=2,
+                                min_fresh_s=3600.0) as service:
+        module = get_workload("twolf").compile()
+        baseline_rv = None
+        for generation in range(3):
+            response = await profile_generation(service, module,
+                                                f"gen {generation}")
+            if baseline_rv is None:
+                baseline_rv = response.return_value
+            assert response.return_value == baseline_rv, \
+                "optimization changed behaviour!"
+            if generation < 2:
+                module = await optimize_generation(service, module,
+                                                   response.estimated)
+
+        # A deadline too tight for fresh profiling: the service answers
+        # from the last fresh profile, remapped onto the current module.
+        rushed = await service.request(ProfileRequest(
+            tenant=TENANT, module=module, label=LABEL, deadline_s=30.0))
+        assert rushed.status == "degraded" and rushed.degradation is not None
+        print(f"\nrushed request (30s deadline) served "
+              f"{rushed.degradation.kind}: "
+              f"{rushed.degradation.detail.split(':', 1)[0]} "
+              f"-> stale profile remapped onto gen 2 code")
+
+        snapshot = service.metrics_snapshot()
+        tenant = snapshot["tenants"][TENANT]
+        print(f"service handled {tenant['completed']} requests for tenant "
+              f"{TENANT!r}: {tenant['fresh']} fresh, "
+              f"{tenant['degraded']} degraded, 0 lost")
     print("\nBehaviour identical across generations; PPP stayed cheap on "
           "every generation's code.")
+
+
+def main() -> None:
+    asyncio.run(run_study())
 
 
 if __name__ == "__main__":

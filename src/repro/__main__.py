@@ -54,6 +54,15 @@ Subcommands
     block/edge coverage plus the count mass retained.  ``--suite``
     instead proves the V7xx match/transfer checks (self-match identity,
     conservation, coverage) over every suite workload.
+``serve``
+    Run the continuous profiling service: a long-lived TCP JSON-lines
+    server (one JSON object per line) accepting multi-tenant profiling
+    and remap requests, with bounded admission, per-tenant quotas, a
+    crash-safe write-ahead journal, a circuit breaker around the worker
+    pool, and degradation to conservation-repaired stale remaps (see
+    ``repro.service``).  ``--chaos`` accepts the service-scoped fault
+    specs (``drop-request=N``, ``stall-worker=N:SECS``,
+    ``kill-worker=N``, ``journal-corrupt=N``).
 ``profiles {diff,merge} FILE ...``
     Operate on saved edge profiles against FILE's module: ``diff``
     classifies every CFG edge of two profiles by flow-share shift;
@@ -80,6 +89,7 @@ Examples::
     python -m repro conserve --suite
     python -m repro run program.minic --sparse-edges
     python -m repro match old.minic new.minic
+    python -m repro serve --port 7000 --journal results/journal.bin
     python -m repro profiles diff program.minic before.json after.json
     python -m repro profiles merge program.minic run*.json -o merged.json
 """
@@ -759,6 +769,55 @@ def cmd_profiles(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import ProfilingServer, ProfilingService
+
+    if args.chaos:
+        import os
+
+        from .engine import faults
+        try:
+            plan = faults.FaultPlan.from_spec(args.chaos)
+        except faults.FaultSpecError as exc:
+            raise CliError(f"--chaos: {exc}") from exc
+        os.environ[faults.ENV_VAR] = plan.to_spec()
+        faults.install_plan(plan)
+
+    async def run() -> int:
+        service = ProfilingService(
+            jobs=args.jobs, shards=args.shards,
+            queue_capacity=args.queue_capacity,
+            tenant_quota=args.tenant_quota, retries=args.retries,
+            task_timeout=args.timeout,
+            journal_path=args.journal or None,
+            cache_dir=args.cache_dir or None, backend=args.backend)
+        await service.start()
+        server = ProfilingServer(service, host=args.host, port=args.port)
+        host, port = await server.start()
+        replayed = service.metrics.journal_replayed
+        recovered = f", {replayed} journaled requests replayed" \
+            if replayed else ""
+        print(f"profiling service listening on {host}:{port} "
+              f"({args.shards} shards x {args.jobs} pool jobs{recovered})",
+              flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+            await service.stop()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("profiling service stopped")
+        return 0
+
+
 def _add_fault_options(parser: argparse.ArgumentParser) -> None:
     """The fault-tolerance knobs shared by the suite-driving commands."""
     parser.add_argument("--timeout", type=float, default=None,
@@ -966,6 +1025,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="only print failures and the final line")
     _add_fault_options(p_match)
     p_match.set_defaults(fn=cmd_match)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the continuous profiling service")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (default: an ephemeral port, "
+                              "printed at startup)")
+    p_serve.add_argument("--jobs", type=int, default=2,
+                         help="worker-pool processes per dispatch "
+                              "(default 2; 1 runs jobs in-process)")
+    p_serve.add_argument("--shards", type=int, default=2,
+                         help="concurrent dispatcher shards (default 2)")
+    p_serve.add_argument("--queue-capacity", type=int, default=64,
+                         help="total outstanding-request bound; beyond "
+                              "it requests are rejected with a "
+                              "retry-after hint (default 64)")
+    p_serve.add_argument("--tenant-quota", type=int, default=8,
+                         help="outstanding-request bound per tenant "
+                              "(default 8)")
+    p_serve.add_argument("--journal", default="",
+                         help="write-ahead journal path; replayed on "
+                              "restart (default: no journal)")
+    p_serve.add_argument("--cache-dir", default="results/.cache",
+                         help="artifact cache directory for workers "
+                              "(empty = memory only)")
+    p_serve.add_argument("--backend", **backend_kwargs)
+    _add_fault_options(p_serve)
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_profiles = sub.add_parser(
         "profiles", help="diff or merge saved edge profiles")

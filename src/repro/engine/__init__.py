@@ -18,7 +18,7 @@ from .fingerprint import (CACHE_SCHEMA_VERSION, fingerprint_config,
                           fingerprint_edge_profile, fingerprint_module,
                           fingerprint_text)
 from .parallel import (ParallelRunner, SuiteExecutionError, WorkloadTask,
-                       run_task)
+                       execute_task, run_task, task_name)
 from .results import (ExecutionRecord, SuiteExecutionReport, TECHNIQUES,
                       TaskFailure, TechniqueResult, WorkloadResult)
 from .session import ProfilingSession, default_session, set_default_session
@@ -31,7 +31,8 @@ __all__ = [
     "CodegenFault", "DegradationEvent", "FaultPlan", "FaultSpecError",
     "CACHE_SCHEMA_VERSION", "fingerprint_config",
     "fingerprint_edge_profile", "fingerprint_module", "fingerprint_text",
-    "ParallelRunner", "SuiteExecutionError", "WorkloadTask", "run_task",
+    "ParallelRunner", "SuiteExecutionError", "WorkloadTask",
+    "execute_task", "run_task", "task_name",
     "ExecutionRecord", "SuiteExecutionReport", "TECHNIQUES",
     "TaskFailure", "TechniqueResult", "WorkloadResult",
     "ProfilingSession", "default_session", "set_default_session",

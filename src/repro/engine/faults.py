@@ -17,6 +17,23 @@ engine's components check for at well-defined points:
   profile-guided tier only, which forces a tier-2 -> tier-1 demotion
   instead (the next rung of the degradation ladder).
 
+Service-scoped faults (consumed by :mod:`repro.service`, keyed by a
+request's service-wide admission ordinal rather than a batch-local task
+index):
+
+* **drop-request** -- the dispatcher silently loses the named request's
+  first dispatch (a vanished work item); the service's own retry ladder
+  must recover it;
+* **stall-worker** -- the named request's job sleeps past its deadline
+  the first time any process attempts it, exercising the
+  timeout-abandon-retry path;
+* **kill-worker** -- the worker process executing the named request's
+  first attempt dies with ``os._exit`` (pool collapse); the trigger is
+  inert outside a pool worker so an inline fallback can still complete;
+* **journal-corrupt** -- the Nth write-ahead journal record has its
+  payload scrambled *after* the checksum is computed, so the corruption
+  is latent until the journal is scanned or replayed.
+
 Plans are activated programmatically (:func:`install_plan`) or through
 the ``REPRO_FAULTS`` environment variable / the CLIs' ``--chaos`` flag;
 the spec string round-trips through :meth:`FaultPlan.to_spec`.  Worker
@@ -38,8 +55,9 @@ from typing import Optional
 
 __all__ = [
     "CodegenFault", "DegradationEvent", "FaultPlan", "FaultSpecError",
-    "clear_plan", "current_plan", "drain_degradations", "install_plan",
-    "record_degradation",
+    "clear_plan", "corrupt_journal_payload", "current_plan",
+    "drain_degradations", "install_plan", "on_job_start",
+    "record_degradation", "should_drop_request",
 ]
 
 ENV_VAR = "REPRO_FAULTS"
@@ -67,7 +85,10 @@ class DegradationEvent:
     the parent after pool retries or because it cannot be pickled),
     ``pool-degraded`` (the pool itself was unusable),
     ``cache-quarantine`` (a corrupt cache entry was renamed aside and
-    recomputed).
+    recomputed), ``stale-remap`` (the profiling service answered with a
+    conservation-repaired remap of an older profile instead of fresh
+    profiling), ``journal-recovered`` (a corrupt or torn write-ahead
+    journal record was detected, counted, and skipped during replay).
     """
 
     kind: str
@@ -77,6 +98,11 @@ class DegradationEvent:
     def to_dict(self) -> dict:
         return {"kind": self.kind, "subject": self.subject,
                 "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DegradationEvent":
+        return cls(kind=data["kind"], subject=data["subject"],
+                   detail=data.get("detail", ""))
 
 
 @dataclass(frozen=True)
@@ -92,11 +118,19 @@ class FaultPlan:
     corrupt_nth: int = 0                 # which write of that kind
     codegen_fail: Optional[str] = None   # IR function name
     codegen_fail_tier: Optional[int] = None  # restrict to one tier (2)
+    # Service-scoped faults, keyed by a request's admission ordinal.
+    drop_request: Optional[int] = None   # dispatch silently lost once
+    stall_job: Optional[int] = None      # job sleeps on its first attempt
+    stall_seconds: float = 0.0
+    kill_job: Optional[int] = None       # pool worker dies on the job
+    kill_job_count: int = 1              # attempts 0..count-1 are killed
+    journal_corrupt: Optional[int] = None  # journal record ordinal
 
     @classmethod
     def from_spec(cls, spec: str) -> "FaultPlan":
         """Parse ``seed=7,kill-task=1x2,delay-task=2:6.0,``
-        ``corrupt-write=trace:0,codegen-fail=main``."""
+        ``corrupt-write=trace:0,codegen-fail=main,drop-request=1,``
+        ``stall-worker=2:1.5,kill-worker=3,journal-corrupt=0``."""
         kwargs: dict = {}
         for part in spec.split(","):
             part = part.strip()
@@ -125,6 +159,18 @@ class FaultPlan:
                     kwargs["codegen_fail"] = name
                     if tier:
                         kwargs["codegen_fail_tier"] = int(tier)
+                elif key == "drop-request":
+                    kwargs["drop_request"] = int(value)
+                elif key == "stall-worker":
+                    ordinal, _, secs = value.partition(":")
+                    kwargs["stall_job"] = int(ordinal)
+                    kwargs["stall_seconds"] = float(secs) if secs else 1.0
+                elif key == "kill-worker":
+                    ordinal, _, count = value.partition("x")
+                    kwargs["kill_job"] = int(ordinal)
+                    kwargs["kill_job_count"] = int(count) if count else 1
+                elif key == "journal-corrupt":
+                    kwargs["journal_corrupt"] = int(value)
                 else:
                     raise FaultSpecError(f"unknown fault key {key!r}")
             except (TypeError, ValueError) as exc:
@@ -148,6 +194,17 @@ class FaultPlan:
             suffix = (f"@{self.codegen_fail_tier}"
                       if self.codegen_fail_tier is not None else "")
             parts.append(f"codegen-fail={self.codegen_fail}{suffix}")
+        if self.drop_request is not None:
+            parts.append(f"drop-request={self.drop_request}")
+        if self.stall_job is not None:
+            parts.append(f"stall-worker={self.stall_job}:"
+                         f"{self.stall_seconds}")
+        if self.kill_job is not None:
+            suffix = (f"x{self.kill_job_count}"
+                      if self.kill_job_count != 1 else "")
+            parts.append(f"kill-worker={self.kill_job}{suffix}")
+        if self.journal_corrupt is not None:
+            parts.append(f"journal-corrupt={self.journal_corrupt}")
         return ",".join(parts)
 
 
@@ -203,7 +260,57 @@ def on_task_start(index: int, attempt: int) -> None:
         time.sleep(plan.delay_seconds)
 
 
+def on_job_start(ordinal: int, attempt: int) -> None:
+    """Service-job hook, called before a profiling job's body runs.
+
+    ``ordinal`` is the request's service-wide admission ordinal and
+    ``attempt`` the supervisor's attempt number for this execution.  The
+    ``kill-worker`` trigger is inert outside a pool worker process so an
+    inline (in-parent) fallback attempt can still complete the job.
+    """
+    import multiprocessing
+
+    plan = current_plan()
+    if plan is None:
+        return
+    if plan.stall_job == ordinal and attempt == 0 \
+            and plan.stall_seconds > 0:
+        time.sleep(plan.stall_seconds)
+    if plan.kill_job == ordinal and attempt < plan.kill_job_count \
+            and multiprocessing.current_process().name != "MainProcess":
+        os._exit(KILL_STATUS)  # simulate a hard worker crash
+
+
+def should_drop_request(ordinal: int, attempt: int) -> bool:
+    """True when the dispatcher must lose this dispatch (first attempt
+    of the request named by ``drop-request``)."""
+    plan = current_plan()
+    return (plan is not None and plan.drop_request == ordinal
+            and attempt == 0)
+
+
 _write_counts: dict[str, int] = {}
+
+
+def corrupt_journal_payload(payload: bytes) -> bytes:
+    """Return the (possibly scrambled) payload for a journal append.
+
+    Counts journal writes in this process; when the plan names this
+    ordinal the payload bytes are XOR-flipped over a seed-chosen window
+    *after* the checksum was computed, so the corruption is latent until
+    the journal is scanned or replayed.
+    """
+    plan = current_plan()
+    if plan is None or plan.journal_corrupt is None:
+        return payload
+    ordinal = _write_counts.get("@journal", 0)
+    _write_counts["@journal"] = ordinal + 1
+    if ordinal != plan.journal_corrupt or not payload:
+        return payload
+    start = plan.seed % len(payload)
+    window = payload[start:start + 16] or payload[:16]
+    flipped = bytes(b ^ 0xFF for b in window)
+    return payload[:start] + flipped + payload[start + len(window):]
 
 
 def corrupt_cache_payload(kind: str, payload: bytes) -> bytes:

@@ -50,7 +50,7 @@ from .results import (SuiteExecutionReport, TECHNIQUES, TaskFailure,
                       WorkloadResult)
 
 __all__ = ["ParallelRunner", "SuiteExecutionError", "WorkloadTask",
-           "run_task"]
+           "execute_task", "run_task", "task_name"]
 
 
 class SuiteExecutionError(RuntimeError):
@@ -107,11 +107,40 @@ def run_task(task: WorkloadTask,
                                 hot_threshold=task.hot_threshold)
 
 
+def task_name(task) -> str:
+    """The display/report name of a supervised task.
+
+    :class:`WorkloadTask` is named by its workload; any other task (the
+    profiling service's jobs, test stand-ins) must carry a ``name``
+    attribute of its own.
+    """
+    workload = getattr(task, "workload", None)
+    if workload is not None:
+        return workload.name
+    return task.name
+
+
+def execute_task(task, disk_dir: Optional[str], attempt: int = 0):
+    """Run one supervised task in this process.
+
+    The supervisor accepts two task shapes: a :class:`WorkloadTask`
+    (dispatched through the module-level :func:`run_task`, which tests
+    monkeypatch) and any object with ``name`` plus
+    ``run(disk_dir, attempt) -> result`` where the result carries an
+    ``execution`` :class:`~repro.engine.results.ExecutionRecord` -- the
+    contract the profiling service's jobs implement.
+    """
+    runner = getattr(task, "run", None)
+    if runner is not None and not isinstance(task, WorkloadTask):
+        return runner(disk_dir, attempt)
+    return run_task(task, disk_dir)
+
+
 def _run_task_payload(payload: tuple[WorkloadTask, Optional[str], int, int]
                       ) -> WorkloadResult:
     task, disk_dir, index, attempt = payload
     faults.on_task_start(index, attempt)
-    return run_task(task, disk_dir)
+    return execute_task(task, disk_dir, attempt)
 
 
 class _TaskState:
@@ -128,7 +157,7 @@ class _TaskState:
 
     @property
     def name(self) -> str:
-        return self.task.workload.name
+        return task_name(self.task)
 
 
 class ParallelRunner:
@@ -149,6 +178,13 @@ class ParallelRunner:
         final inline fallback is not counted here).
     backoff:
         Base backoff delay; attempt ``n`` waits ``backoff * 2**(n-1)``.
+    always_supervise:
+        By default a single-task run with ``jobs > 1`` short-circuits to
+        the serial path (no pool is worth spawning for a suite of one).
+        The profiling service dispatches one request at a time but still
+        needs the full supervision ladder -- timeout, retries, crash
+        isolation, inline fallback -- so it sets this flag to keep even
+        singleton batches on the pool.
     """
 
     _TICK = 0.05  # supervisor poll granularity (seconds)
@@ -156,12 +192,13 @@ class ParallelRunner:
     def __init__(self, jobs: int = 1,
                  disk_dir: Optional[Path | str] = None,
                  timeout: Optional[float] = None, retries: int = 2,
-                 backoff: float = 0.25):
+                 backoff: float = 0.25, always_supervise: bool = False):
         self.jobs = max(1, int(jobs))
         self.disk_dir = str(disk_dir) if disk_dir is not None else None
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.backoff = backoff
+        self.always_supervise = bool(always_supervise)
         self.report = SuiteExecutionReport()
 
     # ------------------------------------------------------------------
@@ -175,11 +212,12 @@ class ParallelRunner:
         if not tasks:
             return []
         results: dict[int, WorkloadResult] = {}
-        if self.jobs <= 1 or len(tasks) == 1:
+        if self.jobs <= 1 or (len(tasks) == 1
+                              and not self.always_supervise):
             for i, task in enumerate(tasks):
-                results[i] = self._finish(i, task, run_task(task,
-                                                            self.disk_dir),
-                                          attempts=1, where="serial")
+                results[i] = self._finish(
+                    i, task, execute_task(task, self.disk_dir),
+                    attempts=1, where="serial")
             return [results[i] for i in range(len(tasks))]
 
         pooled, inline = self._partition(tasks)
@@ -205,21 +243,23 @@ class ParallelRunner:
                 inline.append(i)
                 record = self._record(task)
                 record.failures.append(TaskFailure(
-                    "unpicklable", task.workload.name, i, 0,
+                    "unpicklable", task_name(task), i, 0,
                     "ad-hoc workload cannot cross a process boundary"))
                 record.degradations.append(faults.DegradationEvent(
-                    "inline-fallback", task.workload.name,
+                    "inline-fallback", task_name(task),
                     "unpicklable task runs in the parent process"))
         return pooled, inline
 
     def _run_inline(self, index: int, task: WorkloadTask,
                     attempts: int = 1) -> WorkloadResult:
-        return self._finish(index, task, run_task(task, self.disk_dir),
-                            attempts=attempts, where="inline")
+        return self._finish(
+            index, task,
+            execute_task(task, self.disk_dir, max(0, attempts - 1)),
+            attempts=attempts, where="inline")
 
     def _record(self, task: WorkloadTask):
         from .results import ExecutionRecord
-        name = task.workload.name
+        name = task_name(task)
         record = self.report.records.get(name)
         if record is None:
             record = ExecutionRecord()
@@ -243,7 +283,7 @@ class ParallelRunner:
         result.execution.where = where
         result.execution.failures = list(record.failures)
         result.execution.degradations = list(record.degradations)
-        self.report.records[task.workload.name] = result.execution
+        self.report.records[task_name(task)] = result.execution
         return result
 
     # ------------------------------------------------------------------

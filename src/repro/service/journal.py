@@ -1,0 +1,159 @@
+"""Crash-safe write-ahead ingestion journal.
+
+Every accepted request is journaled *before* it is queued, and marked
+done when its terminal response is produced, so a crashed service can
+replay the journal on restart and re-admit every request it had
+accepted but not yet answered -- accepted work is never lost.
+
+Records mirror the disk cache's self-verifying envelope discipline:
+
+    MAGIC | kind byte | 4-byte BE payload length | sha256(payload) | payload
+
+with the payload a pickled document.  Appends flush and fsync so a
+record is durable once :meth:`WriteAheadJournal.append` returns.  The
+scanner distinguishes two failure shapes:
+
+* a record whose checksum mismatches is **corrupt** -- it is counted and
+  skipped, and scanning resynchronises on the next magic marker;
+* a truncated final record is a **torn tail** (the classic crash shape:
+  power lost mid-append) -- scanning stops there, everything before it
+  is intact.
+
+Chaos runs exercise the corrupt path through
+:func:`repro.engine.faults.corrupt_journal_payload`, which scrambles a
+payload after its checksum was computed (latent until scan).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, BinaryIO, Optional, Union
+
+from ..engine import faults
+
+__all__ = ["JournalRecord", "JournalScan", "WriteAheadJournal"]
+
+MAGIC = b"RPROJNL1"
+_KIND_BYTES = {"accept": b"A", "done": b"D"}
+_KIND_NAMES = {v: k for k, v in _KIND_BYTES.items()}
+_HEADER_LEN = len(MAGIC) + 1 + 4 + 32
+_PICKLE_PROTOCOL = 4
+
+
+@dataclass
+class JournalRecord:
+    """One verified journal entry."""
+
+    kind: str  # "accept" | "done"
+    payload: bytes
+
+    def doc(self) -> dict[str, Any]:
+        loaded = pickle.loads(self.payload)
+        assert isinstance(loaded, dict)
+        return loaded
+
+
+@dataclass
+class JournalScan:
+    """What a full journal read found."""
+
+    records: list[JournalRecord] = field(default_factory=list)
+    corrupt: int = 0
+    torn: int = 0
+
+    def pending(self) -> list[dict[str, Any]]:
+        """Accept documents with no matching done record, in order."""
+        done_ids = {record.doc().get("id")
+                    for record in self.records if record.kind == "done"}
+        return [record.doc() for record in self.records
+                if record.kind == "accept"
+                and record.doc().get("id") not in done_ids]
+
+
+class WriteAheadJournal:
+    """Append-only, fsync-on-append journal at a fixed path."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh: Optional[BinaryIO] = None
+        self.appended = 0
+
+    def _handle(self) -> BinaryIO:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "ab")
+        return self._fh
+
+    def append(self, kind: str, doc: dict[str, Any]) -> None:
+        """Durably append one record (returns only after fsync)."""
+        payload = pickle.dumps(doc, protocol=_PICKLE_PROTOCOL)
+        digest = hashlib.sha256(payload).digest()
+        payload = faults.corrupt_journal_payload(payload)
+        record = (MAGIC + _KIND_BYTES[kind]
+                  + len(payload).to_bytes(4, "big") + digest + payload)
+        fh = self._handle()
+        fh.write(record)
+        fh.flush()
+        os.fsync(fh.fileno())
+        self.appended += 1
+
+    def accept(self, request_id: str, doc: dict[str, Any]) -> None:
+        self.append("accept", {"id": request_id, **doc})
+
+    def done(self, request_id: str, status: str) -> None:
+        self.append("done", {"id": request_id, "status": status})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def reset(self) -> None:
+        """Truncate the journal (after its pending work was re-admitted)."""
+        self.close()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "wb"):
+            pass
+
+    @staticmethod
+    def scan(path: Union[str, Path]) -> JournalScan:
+        """Read every record, counting corrupt records and a torn tail."""
+        scan = JournalScan()
+        try:
+            data = Path(path).read_bytes()
+        except FileNotFoundError:
+            return scan
+        offset = 0
+        while offset < len(data):
+            if not data[offset:].startswith(MAGIC):
+                # Lost framing (corrupt bytes spilled over a header):
+                # resynchronise on the next magic marker.
+                nxt = data.find(MAGIC, offset + 1)
+                scan.corrupt += 1
+                if nxt < 0:
+                    return scan
+                offset = nxt
+                continue
+            header = data[offset:offset + _HEADER_LEN]
+            if len(header) < _HEADER_LEN:
+                scan.torn += 1
+                return scan
+            kind_byte = header[len(MAGIC):len(MAGIC) + 1]
+            length = int.from_bytes(header[len(MAGIC) + 1:len(MAGIC) + 5],
+                                    "big")
+            digest = header[len(MAGIC) + 5:]
+            payload = data[offset + _HEADER_LEN:offset + _HEADER_LEN + length]
+            if len(payload) < length:
+                scan.torn += 1
+                return scan
+            offset += _HEADER_LEN + length
+            kind = _KIND_NAMES.get(kind_byte)
+            if kind is None or hashlib.sha256(payload).digest() != digest:
+                scan.corrupt += 1
+                continue
+            scan.records.append(JournalRecord(kind=kind, payload=payload))
+        return scan

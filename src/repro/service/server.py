@@ -1,0 +1,153 @@
+"""TCP JSON-lines front-end for :class:`ProfilingService`.
+
+Wire protocol: one JSON object per line, in either direction.  A client
+sends ``{"op": ..., ...}`` and each request is answered with exactly
+one JSON line (responses to concurrent profiling requests on one
+connection arrive in completion order; correlate by ``id``).
+
+Operations:
+
+* ``profile`` (default) / ``remap`` -- the fields of
+  :class:`~repro.service.api.ProfileRequest` (``tenant``, ``workload``
+  or ``source``, ``scale``, ``technique``, ``deadline_s``,
+  ``allow_stale``, ``label``, ``id``; remap adds ``stale_profile``).
+  Answered with :meth:`ServiceResponse.to_dict`, or
+  ``{"status": "rejected", "reason": ..., "retry_after_s": ...}`` under
+  backpressure -- the client is told to come back, never parked.
+* ``healthz`` / ``readyz`` / ``metrics`` -- the service's status and
+  counter snapshots.
+
+Modules never cross the wire: remote clients profile suite workloads or
+ship MiniC source text.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Optional
+
+from .admission import AdmissionError
+from .api import ProfileRequest, ServiceError
+from .service import ProfilingService
+
+__all__ = ["ProfilingServer"]
+
+
+def _request_from_wire(doc: dict[str, Any], kind: str) -> ProfileRequest:
+    return ProfileRequest(
+        tenant=str(doc.get("tenant", "")),
+        workload=doc.get("workload"),
+        source=doc.get("source"),
+        scale=int(doc.get("scale", 1)),
+        technique=str(doc.get("technique", "ppp")),
+        kind=kind,
+        stale_profile=doc.get("stale_profile"),
+        deadline_s=doc.get("deadline_s"),
+        allow_stale=bool(doc.get("allow_stale", True)),
+        label=str(doc.get("label", "")),
+        request_id=str(doc.get("id", "")))
+
+
+class ProfilingServer:
+    """Asyncio TCP server wrapping one :class:`ProfilingService`."""
+
+    def __init__(self, service: ProfilingService,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        replies: "set[asyncio.Task[None]]" = set()
+
+        async def send(doc: dict[str, Any]) -> None:
+            async with write_lock:
+                writer.write(json.dumps(doc).encode() + b"\n")
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    doc = json.loads(line)
+                    if not isinstance(doc, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    await send({"status": "error",
+                                "error": f"bad request: {exc}"})
+                    continue
+                task = await self._handle_op(doc, send)
+                if task is not None:
+                    replies.add(task)
+                    task.add_done_callback(replies.discard)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            for task in list(replies):
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_op(self, doc: dict[str, Any],
+                         send: Any) -> Optional["asyncio.Task[None]"]:
+        op = str(doc.get("op", "profile"))
+        if op == "healthz":
+            await send({"op": op, **self.service.healthz()})
+            return None
+        if op == "readyz":
+            await send({"op": op, **self.service.readyz()})
+            return None
+        if op == "metrics":
+            await send({"op": op, **self.service.metrics_snapshot()})
+            return None
+        if op not in ("profile", "remap"):
+            await send({"status": "error", "error": f"unknown op {op!r}"})
+            return None
+        request = _request_from_wire(doc, kind=op)
+        try:
+            future = await self.service.submit(request)
+        except AdmissionError as exc:
+            await send({"id": request.request_id, "status": "rejected",
+                        "reason": exc.reason,
+                        "retry_after_s": exc.retry_after_s,
+                        "error": str(exc)})
+            return None
+        except ServiceError as exc:
+            await send({"id": request.request_id, "status": "error",
+                        "error": str(exc)})
+            return None
+
+        async def reply() -> None:
+            response = await future
+            await send(response.to_dict())
+
+        return asyncio.create_task(reply())

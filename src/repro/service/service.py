@@ -1,0 +1,504 @@
+"""The fault-tolerant, multi-tenant continuous profiling service.
+
+:class:`ProfilingService` is the in-process object behind ``repro
+serve``: an asyncio ingestion front-end whose dispatcher shards pull
+admitted requests off a bounded queue and execute them on the PR 5
+supervised :class:`~repro.engine.parallel.ParallelRunner` pool.  Tests
+and embedded clients drive it directly (no sockets); the TCP JSON-lines
+wrapper lives in :mod:`repro.service.server`.
+
+A request's life:
+
+1. **Admission** -- quota/capacity check (explicit backpressure,
+   :class:`~repro.service.admission.AdmissionError` with a retry-after
+   hint on rejection), then a durable write-ahead journal ``accept``
+   record *before* the request is queued, so a crash cannot lose
+   accepted work.
+2. **Dispatch** -- a shard pops the request and runs it on the worker
+   pool under the circuit breaker, with the request's deadline as a
+   hard wall-clock bound.  Dispatch failures (crash, timeout, chaos
+   drop) retry with seeded, jittered exponential backoff while budget
+   remains.
+3. **Degrade** -- when fresh profiling is unavailable (breaker open,
+   deadline too tight or expired, retries exhausted) and the tenant has
+   a previously-fresh profile for the same key, the service answers
+   with a conservation-repaired stale remap
+   (:func:`~repro.analysis.transfer.remap_edge_profile`), flagged with
+   a ``stale-remap`` :class:`~repro.engine.faults.DegradationEvent` --
+   never silently.
+4. **Resolution** -- the journal gets a ``done`` record, the admission
+   slot is released, and the caller's future resolves with a
+   :class:`~repro.service.api.ServiceResponse`.
+
+On restart the journal is replayed: accepted-but-unanswered requests
+are re-admitted (flagged ``journal-recovered``) before new traffic is
+accepted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Any, AsyncIterator, Callable, Iterable, Optional,
+                    Union)
+
+from ..engine.faults import DegradationEvent
+from ..engine.parallel import ParallelRunner
+from ..engine.results import ExecutionRecord, TaskFailure
+from ..engine import faults
+from ..ir.function import Module
+from ..profiles import EdgeProfile, PathProfile
+from .admission import AdmissionError, AdmissionLimits, AdmissionQueue
+from .api import (JobOutcome, ProfileJob, ProfileRequest, ServiceError,
+                  ServiceResponse)
+from .breaker import CircuitBreaker
+from .journal import WriteAheadJournal
+from .metrics import ServiceMetrics
+
+__all__ = ["ProfilingService"]
+
+_StaleEntry = tuple[Module, EdgeProfile, Optional[PathProfile]]
+Executor = Callable[[ProfileJob], JobOutcome]
+
+
+@dataclass
+class _Entry:
+    """One admitted request's dispatcher state."""
+
+    request: ProfileRequest
+    ordinal: int
+    future: "asyncio.Future[ServiceResponse]"
+    admitted_at: float
+    deadline_at: Optional[float] = None
+    attempts: int = 0
+    replayed: bool = False
+    failures: list[TaskFailure] = field(default_factory=list)
+
+
+class ProfilingService:
+    """Long-lived multi-tenant profiling front-end (see module docs).
+
+    ``executor`` lets tests substitute the whole pool layer with a
+    plain callable ``ProfileJob -> JobOutcome``; by default each
+    dispatch builds a fresh supervised :class:`ParallelRunner` (fresh so
+    an abandoned, deadline-expired dispatch can never race a later one
+    on shared supervisor state) with ``always_supervise=True`` so even
+    a single-job batch gets the full timeout/retry/rebuild ladder.
+    """
+
+    def __init__(self, jobs: int = 2, shards: int = 2,
+                 queue_capacity: int = 64, tenant_quota: int = 8,
+                 retries: int = 2, backoff_s: float = 0.1,
+                 task_timeout: Optional[float] = None,
+                 pool_retries: int = 1,
+                 breaker_threshold: int = 3,
+                 breaker_reset_s: float = 1.0,
+                 min_fresh_s: float = 0.0,
+                 journal_path: Optional[Union[str, Path]] = None,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 backend: Optional[str] = None, seed: int = 0,
+                 executor: Optional[Executor] = None,
+                 on_response: Optional[
+                     Callable[[ServiceResponse], None]] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.jobs = max(1, jobs)
+        self.shards = max(1, shards)
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        self.task_timeout = task_timeout
+        self.pool_retries = max(0, pool_retries)
+        self.min_fresh_s = min_fresh_s
+        self.journal_path = Path(journal_path) if journal_path else None
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.backend = backend
+        self._executor = executor
+        # Observability hook: called with every terminal response,
+        # including replayed requests whose original submitter is gone.
+        self._on_response = on_response
+        self._clock = clock
+        self._rng = random.Random(seed)
+        self.metrics = ServiceMetrics(clock=clock)
+        self.breaker = CircuitBreaker(fail_threshold=breaker_threshold,
+                                      reset_after_s=breaker_reset_s,
+                                      clock=clock)
+        self._admission = AdmissionQueue(
+            AdmissionLimits(capacity=queue_capacity,
+                            tenant_quota=tenant_quota),
+            shards=self.shards, latency_hint=self.metrics.avg_latency,
+            clock=clock)
+        self._stale: dict[tuple[str, str], _StaleEntry] = {}
+        self._ordinals = itertools.count()
+        self._journal: Optional[WriteAheadJournal] = None
+        self._workers: list["asyncio.Task[None]"] = []
+        self._started = False
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "ProfilingService":
+        """Replay the journal (if any), then start dispatcher shards."""
+        if self._started:
+            return self
+        self._started = True
+        self._closing = False
+        if self.journal_path is not None:
+            await self._replay_journal()
+        self._workers = [asyncio.create_task(self._worker(),
+                                             name=f"repro-shard-{i}")
+                         for i in range(self.shards)]
+        return self
+
+    async def _replay_journal(self) -> None:
+        assert self.journal_path is not None
+        scan = WriteAheadJournal.scan(self.journal_path)
+        pending = scan.pending()
+        self.metrics.journal_corrupt += scan.corrupt
+        self.metrics.journal_torn += scan.torn
+        self._journal = WriteAheadJournal(self.journal_path)
+        self._journal.reset()
+        for doc in pending:
+            request = doc.get("request")
+            if not isinstance(request, ProfileRequest):
+                continue
+            try:
+                await self.submit(request, _replayed=True)
+            except (AdmissionError, ServiceError):
+                continue
+            self.metrics.journal_replayed += 1
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the service; with ``drain`` answer all admitted work first."""
+        self._closing = True
+        if drain:
+            while self._admission.outstanding() > 0:
+                await asyncio.sleep(0.02)
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if self._journal is not None:
+            self._journal.close()
+        self._started = False
+
+    async def __aenter__(self) -> "ProfilingService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    async def submit(self, request: ProfileRequest, *,
+                     _replayed: bool = False
+                     ) -> "asyncio.Future[ServiceResponse]":
+        """Admit one request; resolves to its terminal response.
+
+        Raises :class:`~repro.service.admission.AdmissionError` (with a
+        ``retry_after_s`` hint) under backpressure, or
+        :class:`~repro.service.api.ServiceError` for invalid requests
+        and a stopped service.
+        """
+        if not self._started or self._closing:
+            raise ServiceError("service is not accepting requests")
+        request.validate()
+        request = request.with_id()
+        try:
+            self._admission.admit(request.tenant)
+        except AdmissionError:
+            self.metrics.tenant(request.tenant).rejected += 1
+            raise
+        self.metrics.tenant(request.tenant).accepted += 1
+        now = self._clock()
+        future: "asyncio.Future[ServiceResponse]" = \
+            asyncio.get_running_loop().create_future()
+        entry = _Entry(
+            request=request, ordinal=next(self._ordinals), future=future,
+            admitted_at=now, replayed=_replayed,
+            deadline_at=(now + request.deadline_s
+                         if request.deadline_s is not None else None))
+        if self._journal is not None:
+            self._journal.accept(request.request_id, {"request": request})
+        await self._admission.push(entry)
+        return future
+
+    async def request(self, request: ProfileRequest) -> ServiceResponse:
+        """Submit and wait: the one-call client entry point."""
+        return await (await self.submit(request))
+
+    async def stream(self, requests: Iterable[ProfileRequest]
+                     ) -> AsyncIterator[ServiceResponse]:
+        """Submit a batch; yield responses as each completes."""
+        futures = [await self.submit(request) for request in requests]
+        for next_done in asyncio.as_completed(futures):
+            yield await next_done
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            entry = await self._admission.pop()
+            assert isinstance(entry, _Entry)
+            try:
+                await self._process(entry)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # defensive: a shard must not die
+                self._resolve(entry, self._failed_response(
+                    entry, "internal", f"{type(exc).__name__}: {exc}"))
+
+    async def _process(self, entry: _Entry) -> None:
+        now = self._clock()
+        request = entry.request
+        remaining = (entry.deadline_at - now
+                     if entry.deadline_at is not None else None)
+        if remaining is not None and remaining <= 0:
+            self.metrics.tenant(request.tenant).deadline_misses += 1
+            await self._finish_degraded(entry, "deadline",
+                                        "deadline expired before dispatch")
+            return
+        if (remaining is not None and self.min_fresh_s > 0
+                and remaining < self.min_fresh_s
+                and request.allow_stale and self._has_stale(request)):
+            await self._finish_degraded(
+                entry, "deadline-tight",
+                f"{remaining:.3f}s left < min_fresh_s={self.min_fresh_s}")
+            return
+        if not self.breaker.allow():
+            if request.allow_stale and self._has_stale(request):
+                await self._finish_degraded(entry, "breaker-open",
+                                            "worker pool circuit is open")
+                return
+            delay = max(0.05, self.breaker.retry_after())
+            if (entry.deadline_at is not None
+                    and now + delay >= entry.deadline_at):
+                await self._finish_degraded(entry, "breaker-open",
+                                            "circuit open past deadline")
+            else:
+                await self._admission.push(entry, ready_at=now + delay)
+            return
+        attempt = entry.attempts
+        entry.attempts += 1
+        if faults.should_drop_request(entry.ordinal, attempt):
+            self.breaker.record_failure()
+            entry.failures.append(TaskFailure(
+                kind="drop", task=self._subject(entry),
+                index=entry.ordinal, attempt=attempt,
+                detail="chaos: dispatch dropped"))
+            await self._retry_or_degrade(entry, "dropped",
+                                         "dispatch lost (chaos drop)")
+            return
+        job = ProfileJob(request=request, ordinal=entry.ordinal,
+                         backend=self.backend, base_attempt=attempt)
+        started = self._clock()
+        try:
+            outcome = await asyncio.wait_for(
+                asyncio.to_thread(self._execute, job), timeout=remaining)
+        except asyncio.TimeoutError:
+            self.breaker.record_failure()
+            self.metrics.tenant(request.tenant).deadline_misses += 1
+            entry.failures.append(TaskFailure(
+                kind="timeout", task=self._subject(entry),
+                index=entry.ordinal, attempt=attempt,
+                detail="request deadline elapsed mid-dispatch",
+                elapsed_s=self._clock() - started))
+            await self._finish_degraded(entry, "deadline",
+                                        "deadline elapsed mid-dispatch")
+        except Exception as exc:
+            self.breaker.record_failure()
+            entry.failures.append(TaskFailure(
+                kind="exception", task=self._subject(entry),
+                index=entry.ordinal, attempt=attempt,
+                detail=f"{type(exc).__name__}: {exc}",
+                elapsed_s=self._clock() - started))
+            await self._retry_or_degrade(
+                entry, "dispatch-failed", f"{type(exc).__name__}: {exc}")
+        else:
+            self.breaker.record_success()
+            self._finish_fresh(entry, outcome)
+
+    def _execute(self, job: ProfileJob) -> JobOutcome:
+        """Run one job to completion (called in a worker thread)."""
+        if self._executor is not None:
+            return self._executor(job)
+        runner = ParallelRunner(jobs=self.jobs, disk_dir=self.cache_dir,
+                                timeout=self.task_timeout,
+                                retries=self.pool_retries,
+                                backoff=self.backoff_s,
+                                always_supervise=True)
+        outcome = runner.run([job])[0]
+        assert isinstance(outcome, JobOutcome)
+        return outcome
+
+    async def _retry_or_degrade(self, entry: _Entry, reason: str,
+                                detail: str) -> None:
+        now = self._clock()
+        if entry.attempts <= self.retries:
+            delay = self._backoff_delay(entry.attempts)
+            if entry.deadline_at is None or now + delay < entry.deadline_at:
+                self.metrics.tenant(entry.request.tenant).retries += 1
+                await self._admission.push(entry, ready_at=now + delay)
+                return
+        await self._finish_degraded(entry, reason, detail)
+
+    def _backoff_delay(self, attempt: int) -> float:
+        base = self.backoff_s * (2 ** max(0, attempt - 1))
+        return base * (1.0 + self._rng.uniform(0.0, 0.5))
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def _has_stale(self, request: ProfileRequest) -> bool:
+        return (request.tenant, request.key) in self._stale
+
+    def _subject(self, entry: _Entry) -> str:
+        return f"{entry.request.tenant}:{entry.request.request_id}"
+
+    def _finish_fresh(self, entry: _Entry, outcome: JobOutcome) -> None:
+        request = entry.request
+        if (outcome.kind == "profile" and outcome.profile is not None
+                and outcome.module is not None):
+            self._stale[(request.tenant, request.key)] = (
+                outcome.module, outcome.profile, outcome.paths)
+        execution = outcome.execution
+        execution.failures = entry.failures + execution.failures
+        self._annotate_replay(entry, execution)
+        self.metrics.tenant(request.tenant).fresh += 1
+        self._resolve(entry, ServiceResponse(
+            request_id=request.request_id, tenant=request.tenant,
+            status="fresh", kind=outcome.kind, payload=outcome.payload,
+            overhead=outcome.overhead, accuracy=outcome.accuracy,
+            return_value=outcome.return_value,
+            attempts=max(1, entry.attempts), execution=execution,
+            profile=outcome.profile, paths=outcome.paths,
+            estimated=outcome.estimated))
+
+    async def _finish_degraded(self, entry: _Entry, reason: str,
+                               detail: str) -> None:
+        request = entry.request
+        stale = self._stale.get((request.tenant, request.key))
+        if stale is None or not request.allow_stale:
+            self._resolve(entry, self._failed_response(entry, reason, detail))
+            return
+        try:
+            response = await asyncio.to_thread(
+                self._build_stale_response, entry, stale, reason, detail)
+        except Exception as exc:
+            self._resolve(entry, self._failed_response(
+                entry, reason,
+                f"{detail}; stale remap failed: {exc}"))
+            return
+        self.metrics.tenant(request.tenant).degraded += 1
+        self._resolve(entry, response)
+
+    def _build_stale_response(self, entry: _Entry, stale: _StaleEntry,
+                              reason: str, detail: str) -> ServiceResponse:
+        from ..analysis.transfer import remap_edge_profile
+        from ..profiles import edge_profile_to_dict
+
+        request = entry.request
+        _old_module, old_profile, old_paths = stale
+        module = ProfileJob(request=request,
+                            ordinal=entry.ordinal).resolve_module()
+        result = remap_edge_profile(old_profile, module, paths=old_paths)
+        event = DegradationEvent(
+            "stale-remap", self._subject(entry),
+            f"{reason}: served conservation-repaired stale profile "
+            f"({detail})")
+        execution = ExecutionRecord(
+            attempts=max(1, entry.attempts), where="stale",
+            failures=list(entry.failures), degradations=[event])
+        self._annotate_replay(entry, execution)
+        return ServiceResponse(
+            request_id=request.request_id, tenant=request.tenant,
+            status="degraded", kind=request.kind,
+            payload=edge_profile_to_dict(result.profile),
+            overhead=None, accuracy=None, return_value=None,
+            attempts=max(1, entry.attempts), execution=execution,
+            degradation=event, profile=result.profile, paths=result.paths)
+
+    def _failed_response(self, entry: _Entry, reason: str,
+                         detail: str) -> ServiceResponse:
+        request = entry.request
+        execution = ExecutionRecord(attempts=max(1, entry.attempts),
+                                    where="stale",
+                                    failures=list(entry.failures))
+        self._annotate_replay(entry, execution)
+        self.metrics.tenant(request.tenant).failed += 1
+        return ServiceResponse(
+            request_id=request.request_id, tenant=request.tenant,
+            status="failed", kind=request.kind,
+            attempts=max(1, entry.attempts), execution=execution,
+            error=f"{reason}: {detail}" if detail else reason)
+
+    def _annotate_replay(self, entry: _Entry,
+                         execution: ExecutionRecord) -> None:
+        if entry.replayed:
+            execution.degradations.insert(0, DegradationEvent(
+                "journal-recovered", self._subject(entry),
+                "re-admitted from the write-ahead journal after restart"))
+
+    def _resolve(self, entry: _Entry, response: ServiceResponse) -> None:
+        response.elapsed_s = self._clock() - entry.admitted_at
+        if self._journal is not None:
+            try:
+                self._journal.done(entry.request.request_id, response.status)
+            except OSError:
+                pass  # a failing journal must not lose the response
+        self._admission.release(entry.request.tenant)
+        self.metrics.observe_latency(response.elapsed_s)
+        if self._on_response is not None:
+            self._on_response(response)
+        if not entry.future.done():
+            entry.future.set_result(response)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        """Liveness: the process is up and shards are running."""
+        return {
+            "status": "ok" if self._started and not self._closing
+            else "stopping" if self._closing else "stopped",
+            "shards": len(self._workers),
+            "breaker": self.breaker.state,
+        }
+
+    def readyz(self) -> dict[str, Any]:
+        """Readiness: will a new request be admitted right now?"""
+        ready = (self._started and not self._closing
+                 and self._admission.outstanding()
+                 < self._admission.limits.capacity)
+        reason = ""
+        if not self._started:
+            reason = "not started"
+        elif self._closing:
+            reason = "draining"
+        elif not ready:
+            reason = "at capacity"
+        return {"ready": ready, "reason": reason,
+                "outstanding": self._admission.outstanding(),
+                "capacity": self._admission.limits.capacity}
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Counters for the ``metrics`` endpoint and the chaos gate."""
+        if self._journal is not None:
+            self.metrics.journal_appends = self._journal.appended
+        self.metrics.breaker_trips = self.breaker.trips
+        snapshot = self.metrics.snapshot()
+        snapshot["breaker_state"] = self.breaker.state
+        snapshot["queue_depth"] = self._admission.depth()
+        snapshot["outstanding"] = self._admission.outstanding()
+        snapshot["stale_profiles"] = len(self._stale)
+        return snapshot

@@ -1,0 +1,81 @@
+"""JSON round-trips for the engine's execution-record types.
+
+The profiling service ships ``ExecutionRecord`` / ``SuiteExecutionReport``
+over the wire, so ``from_dict(to_dict(x))`` must reconstruct an equal
+object -- including nested failures and degradation events -- once
+elapsed times are rounded to the serialized millisecond precision.
+"""
+
+import json
+
+from repro.engine.faults import DegradationEvent
+from repro.engine.results import (ExecutionRecord, SuiteExecutionReport,
+                                  TaskFailure)
+
+
+def _sample_record() -> ExecutionRecord:
+    return ExecutionRecord(
+        attempts=3, where="pool",
+        failures=[
+            TaskFailure(kind="timeout", task="mcf", index=0, attempt=0,
+                        detail="wall clock", elapsed_s=0.25),
+            TaskFailure(kind="worker-crash", task="mcf", index=0,
+                        attempt=1),
+        ],
+        degradations=[
+            DegradationEvent("inline-fallback", "mcf", "pool gave up"),
+            DegradationEvent("stale-remap", "acme:r1", "breaker open"),
+        ])
+
+
+def _through_json(doc):
+    return json.loads(json.dumps(doc))
+
+
+class TestExecutionRecordRoundTrip:
+    def test_exact_round_trip(self):
+        record = _sample_record()
+        assert ExecutionRecord.from_dict(_through_json(record.to_dict())) \
+            == record
+
+    def test_defaults_survive_minimal_documents(self):
+        record = ExecutionRecord.from_dict({})
+        assert record == ExecutionRecord()
+        failure = TaskFailure.from_dict(
+            {"kind": "exception", "task": "t", "index": 1, "attempt": 0})
+        assert failure.detail == "" and failure.elapsed_s == 0.0
+
+    def test_elapsed_rounded_to_serialized_precision(self):
+        record = ExecutionRecord(failures=[TaskFailure(
+            kind="timeout", task="t", index=0, attempt=0,
+            elapsed_s=0.123456789)])
+        back = ExecutionRecord.from_dict(_through_json(record.to_dict()))
+        assert back.failures[0].elapsed_s == 0.123
+
+    def test_degradation_event_round_trip(self):
+        event = DegradationEvent("journal-recovered", "acme:r9", "restart")
+        assert DegradationEvent.from_dict(_through_json(event.to_dict())) \
+            == event
+
+
+class TestSuiteExecutionReportRoundTrip:
+    def test_round_trip_recomputes_derived_aggregates(self):
+        report = SuiteExecutionReport(
+            records={"mcf": _sample_record(),
+                     "bzip2": ExecutionRecord(attempts=1, where="serial")},
+            pool_rebuilds=2, cache_quarantined=1)
+        doc = _through_json(report.to_dict())
+        back = SuiteExecutionReport.from_dict(doc)
+        assert back == report
+        # retries/degradations are serialized as derived aggregates ...
+        assert doc["retries"] == report.retries == 2
+        assert doc["degradations"] == report.degradations == 2
+        # ... and recomputed on load rather than trusted from the wire.
+        doc["retries"] = 99
+        assert SuiteExecutionReport.from_dict(doc).retries == 2
+
+    def test_empty_report_round_trip(self):
+        report = SuiteExecutionReport()
+        back = SuiteExecutionReport.from_dict(
+            _through_json(report.to_dict()))
+        assert back == report and back.clean

@@ -178,3 +178,105 @@ def test_empty_task_list():
     runner = ParallelRunner(jobs=4)
     assert runner.run([]) == []
     assert runner.report.clean
+
+
+def test_zero_retries_with_timeout_falls_back_inline(monkeypatch):
+    # --retries 0 must not strand a timing-out task: the single pool
+    # attempt times out and the supervisor goes straight to the inline
+    # fallback (where the delay fault no longer fires: attempt != 0).
+    _patch(monkeypatch, fake_run_task)
+    faults.install_plan(FaultPlan(seed=3, delay_task=0, delay_seconds=2.0))
+    runner = ParallelRunner(jobs=2, timeout=0.4, retries=0, backoff=0.01)
+    out = runner.run(_tasks("mcf", "bzip2", "crafty"))
+    assert [r.name for r in out] == ["mcf", "bzip2", "crafty"]
+    record = runner.report.records["mcf"]
+    assert [f.kind for f in record.failures] == ["timeout"]
+    assert record.where == "inline"
+    assert [d.kind for d in record.degradations] == ["inline-fallback"]
+    assert out[0].pid == os.getpid()
+    # The healthy tasks ran once, in the pool, with no retries.
+    assert runner.report.records["bzip2"].attempts == 1
+    assert runner.report.records["bzip2"].where == "pool"
+
+
+class CountsRunsThenKillsLast:
+    """Tally every execution; the victim dies once, after the others
+    have finished, so the pool collapse arrives with their results
+    already collected."""
+
+    def __init__(self, tally_dir: str, victim: str):
+        self.tally_dir = tally_dir
+        self.victim = victim
+        self.parent_pid = os.getpid()
+
+    def __call__(self, task, disk_dir=None):
+        import uuid
+        name = task.workload.name
+        tally = os.path.join(self.tally_dir, f"{name}.{uuid.uuid4().hex}")
+        if name == self.victim and os.getpid() != self.parent_pid:
+            killed = os.path.join(self.tally_dir, "killed")
+            deadline = time.time() + 10.0
+            while len([f for f in os.listdir(self.tally_dir)
+                       if not f.startswith((self.victim, "killed"))]) < 2:
+                if time.time() > deadline:
+                    raise RuntimeError("peers never finished")
+                time.sleep(0.01)
+            if not os.path.exists(killed):
+                open(killed, "w").close()
+                time.sleep(0.15)  # let the peers' results flush home
+                os._exit(86)
+        open(tally, "w").close()
+        return FakeResult(name, os.getpid())
+
+
+def test_late_pool_crash_preserves_completed_results(tmp_path, monkeypatch):
+    # A BrokenProcessPool arriving after the other tasks completed must
+    # not throw their results away: only the victim is re-run.
+    _patch(monkeypatch,
+           CountsRunsThenKillsLast(str(tmp_path), victim="crafty"))
+    runner = ParallelRunner(jobs=3, retries=2, backoff=0.01)
+    out = runner.run(_tasks("mcf", "bzip2", "crafty"))
+    assert [r.name for r in out] == ["mcf", "bzip2", "crafty"]
+    runs = {name: len(list(tmp_path.glob(f"{name}.*")))
+            for name in ("mcf", "bzip2", "crafty")}
+    # Completed results were preserved across the rebuild, not re-run.
+    assert runs == {"mcf": 1, "bzip2": 1, "crafty": 1}
+    assert runner.report.pool_rebuilds >= 1
+    assert runner.report.failures("worker-crash")
+    assert runner.report.records["crafty"].attempts >= 2
+    assert runner.report.records["mcf"].attempts == 1
+    assert runner.report.records["bzip2"].attempts == 1
+
+
+class GenericTask:
+    """A supervised task using the generic name+run protocol (the shape
+    the profiling service's ProfileJob uses)."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def run(self, disk_dir, attempt=0):
+        result = FakeResult(self.name, os.getpid())
+        result.attempt_seen = attempt
+        return result
+
+
+def test_generic_task_protocol_runs_supervised():
+    runner = ParallelRunner(jobs=2, backoff=0.01)
+    out = runner.run([GenericTask("alpha"), GenericTask("beta")])
+    assert [r.name for r in out] == ["alpha", "beta"]
+    assert set(runner.report.records) == {"alpha", "beta"}
+    assert all(r.pid != os.getpid() for r in out)
+
+
+def test_always_supervise_pools_singleton_batches():
+    # The service dispatches one request at a time but still needs the
+    # full supervision ladder; without the flag a singleton short-cuts
+    # to the serial path.
+    plain = ParallelRunner(jobs=2, backoff=0.01)
+    assert plain.run([GenericTask("solo")])[0].pid == os.getpid()
+    assert plain.report.records["solo"].where == "serial"
+    supervised = ParallelRunner(jobs=2, backoff=0.01,
+                                always_supervise=True)
+    assert supervised.run([GenericTask("solo")])[0].pid != os.getpid()
+    assert supervised.report.records["solo"].where == "pool"

@@ -55,3 +55,9 @@ def test_flow_showdown_reproduces_fig8_coverage(capsys):
 def test_continuous_profiling_preserves_behaviour(capsys):
     out = _run_example("continuous_profiling", capsys)
     assert "Behaviour identical" in out
+    # The study runs as a client of the profiling service: three fresh
+    # generations plus a deadline-tight request served via stale remap.
+    assert sum(1 for line in out.splitlines()
+               if line.startswith("gen ")) == 3
+    assert "stale-remap" in out
+    assert "5 fresh, 1 degraded, 0 lost" in out
